@@ -1,0 +1,179 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"peersampling/internal/core"
+	"peersampling/internal/graph"
+	"peersampling/internal/sim"
+
+	"math/rand/v2"
+)
+
+func newOverlay(t *testing.T, n, c int, warmup int) *sim.Network {
+	t.Helper()
+	w := sim.MustNew(sim.Config{Protocol: core.Newscast, ViewSize: c, Seed: 15})
+	for i := 0; i < n; i++ {
+		w.Add(nil)
+	}
+	rng := rand.New(rand.NewPCG(16, 16))
+	for id, view := range graph.RandomOutViews(n, c, rng) {
+		descs := make([]core.Descriptor[sim.NodeID], len(view))
+		for i, p := range view {
+			descs[i] = core.Descriptor[sim.NodeID]{Addr: p, Hop: 0}
+		}
+		w.Node(sim.NodeID(id)).Bootstrap(descs)
+	}
+	w.Run(warmup)
+	return w
+}
+
+func linearValues(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func TestRunValidation(t *testing.T) {
+	src := NewUniformSource(10, 1)
+	if _, err := Run(linearValues(5), Config{Rounds: 3}, src); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Run(linearValues(10), Config{Rounds: 0}, src); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestMassConservationAndConvergence(t *testing.T) {
+	const n = 256
+	values := linearValues(n)
+	res, err := Run(values, Config{Rounds: 30, Seed: 2}, NewUniformSource(n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean is invariant under pairwise averaging.
+	sum := 0.0
+	for _, e := range res.Estimates {
+		sum += e
+	}
+	if math.Abs(sum/float64(n)-res.TrueMean) > 1e-9 {
+		t.Errorf("mass not conserved: mean drifted to %v from %v", sum/float64(n), res.TrueMean)
+	}
+	// Variance must have collapsed by many orders of magnitude.
+	first, last := res.VariancePerRound[0], res.VariancePerRound[len(res.VariancePerRound)-1]
+	if last > first*1e-6 {
+		t.Errorf("variance only fell from %v to %v in 30 rounds", first, last)
+	}
+	if res.MaxError > 1 {
+		t.Errorf("max error %v too large", res.MaxError)
+	}
+	// The input slice is untouched.
+	if values[0] != 0 || values[n-1] != float64(n-1) {
+		t.Error("Run mutated its input")
+	}
+}
+
+func TestConvergenceRateNearTheory(t *testing.T) {
+	// Under uniform sampling the variance decays by ~1/(2*sqrt(e)) ≈ 0.30
+	// per round (Jelasity-Montresor-Babaoglu analysis for this exchange
+	// pattern). Accept a generous band around it.
+	const n = 1024
+	res, err := Run(linearValues(n), Config{Rounds: 20, Seed: 4}, NewUniformSource(n, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := res.ConvergenceRate()
+	if rate < 0.15 || rate > 0.5 {
+		t.Errorf("per-round variance factor %v outside [0.15, 0.5]", rate)
+	}
+}
+
+func TestOverlayAggregationConverges(t *testing.T) {
+	const n, c = 400, 15
+	w := newOverlay(t, n, c, 30)
+	res, err := Run(linearValues(n), Config{Rounds: 40, Seed: 6}, NewOverlaySource(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.VariancePerRound[0], res.VariancePerRound[len(res.VariancePerRound)-1]
+	if last > first*1e-4 {
+		t.Errorf("overlay aggregation barely converged: %v -> %v", first, last)
+	}
+	if math.Abs(res.Estimates[0]-res.TrueMean) > res.TrueMean*0.05 {
+		t.Errorf("node 0 estimate %v far from mean %v", res.Estimates[0], res.TrueMean)
+	}
+}
+
+func TestOverlayVsUniformRate(t *testing.T) {
+	// Non-uniform sampling slows aggregation, but only by a modest
+	// factor — the qualitative claim behind using gossip overlays at all.
+	const n, c = 400, 15
+	w := newOverlay(t, n, c, 30)
+	overlay, err := Run(linearValues(n), Config{Rounds: 20, Seed: 7}, NewOverlaySource(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Run(linearValues(n), Config{Rounds: 20, Seed: 7}, NewUniformSource(n, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ur := overlay.ConvergenceRate(), uniform.ConvergenceRate()
+	if or > ur*2.5 {
+		t.Errorf("overlay rate %v much worse than uniform %v", or, ur)
+	}
+}
+
+func TestSizeEstimation(t *testing.T) {
+	const n = 512
+	values := make([]float64, n)
+	values[0] = 1
+	res, err := Run(values, Config{Rounds: 40, Seed: 9}, NewUniformSource(n, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 1, n - 1} {
+		est := SizeEstimate(res.Estimates[id])
+		if est < float64(n)*0.9 || est > float64(n)*1.1 {
+			t.Errorf("node %d size estimate %v want ~%d", id, est, n)
+		}
+	}
+	if SizeEstimate(0) != 0 || SizeEstimate(-1) != 0 {
+		t.Error("non-positive estimates must map to 0")
+	}
+}
+
+func TestUniformSourceTiny(t *testing.T) {
+	src := NewUniformSource(1, 1)
+	if _, ok := src.PeerOf(0); ok {
+		t.Error("single-node source returned a peer")
+	}
+	src2 := NewUniformSource(2, 1)
+	p, ok := src2.PeerOf(0)
+	if !ok || p != 1 {
+		t.Errorf("two-node source returned %d,%v", p, ok)
+	}
+}
+
+func TestConvergenceRateEdgeCases(t *testing.T) {
+	if (Result{}).ConvergenceRate() != 1 {
+		t.Error("empty result rate != 1")
+	}
+	r := Result{VariancePerRound: []float64{0, 0}}
+	if r.ConvergenceRate() != 1 {
+		t.Error("zero initial variance rate != 1")
+	}
+	r = Result{VariancePerRound: []float64{4, 1, 0}}
+	if got := r.ConvergenceRate(); got <= 0 || got >= 1 {
+		t.Errorf("rate with exact convergence = %v", got)
+	}
+	r = Result{VariancePerRound: []float64{0, 0, 0}}
+	r.VariancePerRound[0] = 1
+	r.VariancePerRound[1] = 0
+	r.VariancePerRound[2] = 0
+	if got := r.ConvergenceRate(); got != 0 {
+		t.Errorf("all-zero tail rate = %v want 0", got)
+	}
+}

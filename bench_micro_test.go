@@ -1,0 +1,173 @@
+// Micro-benchmarks for the building blocks: view algebra, protocol
+// exchanges, simulation cycles, graph metrics, removal sweeps and the
+// wire codec. These quantify the cost model behind the experiment
+// harness (e.g. one cycle at paper scale, one BFS, one snapshot).
+package peersampling_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"peersampling/internal/core"
+	"peersampling/internal/graph"
+	"peersampling/internal/scenario"
+	"peersampling/internal/sim"
+	"peersampling/internal/transport"
+)
+
+func benchView(c int, rng *rand.Rand) []core.Descriptor[int32] {
+	out := make([]core.Descriptor[int32], c)
+	for i := range out {
+		out[i] = core.Descriptor[int32]{Addr: int32(rng.IntN(1 << 20)), Hop: int32(i)}
+	}
+	return out
+}
+
+func BenchmarkViewMerge(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := benchView(31, rng)
+	y := benchView(31, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Merge(x, y)
+	}
+}
+
+func BenchmarkExchangePushPull(b *testing.B) {
+	mk := func(id int32) *core.Node[int32] {
+		n, err := core.NewNode(id, core.Newscast, 30, rand.New(rand.NewPCG(uint64(id), 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(9, 9))
+		n.Bootstrap(benchView(30, rng))
+		return n
+	}
+	x, y := mk(1<<21), mk(1<<21+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AgeView()
+		_, req, err := x.InitiateExchange()
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, ok := y.HandleRequest(req)
+		if ok {
+			x.HandleResponse(resp)
+		}
+	}
+}
+
+func benchNetwork(b *testing.B, n int) *sim.Network {
+	b.Helper()
+	w := scenario.BuildRandom(sim.Config{Protocol: core.Newscast, ViewSize: 30, Seed: 2}, n)
+	w.Run(10) // leave the artificial bootstrap state
+	return w
+}
+
+func BenchmarkSimCycle(b *testing.B) {
+	for _, n := range []int{1000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := benchNetwork(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunCycle()
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	w := benchNetwork(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.TakeSnapshot()
+	}
+}
+
+func BenchmarkObserveSampled(b *testing.B) {
+	w := benchNetwork(b, 10_000)
+	mc := sim.MetricsConfig{PathSources: 24, ClusteringSample: 600, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Observe(mc)
+	}
+}
+
+func BenchmarkGraphBFS(b *testing.B) {
+	g := graph.RandomViewGraph(10_000, 30, rand.New(rand.NewPCG(4, 4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BFS(int32(i % g.NumNodes()))
+	}
+}
+
+func BenchmarkGraphClusteringSampled(b *testing.B) {
+	g := graph.RandomViewGraph(10_000, 30, rand.New(rand.NewPCG(5, 5)))
+	rng := rand.New(rand.NewPCG(6, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.EstimateClustering(600, rng)
+	}
+}
+
+func BenchmarkRemovalSweep(b *testing.B) {
+	g := graph.RandomViewGraph(10_000, 30, rand.New(rand.NewPCG(7, 7)))
+	checkpoints := make([]int, 0, 7)
+	for p := 65; p <= 95; p += 5 {
+		checkpoints = append(checkpoints, g.NumNodes()*p/100)
+	}
+	rng := rand.New(rand.NewPCG(8, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = graph.RemovalSweep(g, checkpoints, rng)
+	}
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	buf := make([]core.Descriptor[string], 31)
+	for i := range buf {
+		buf[i] = core.Descriptor[string]{Addr: fmt.Sprintf("10.0.%d.%d:7946", i, i), Hop: int32(i)}
+	}
+	req := transport.Request{From: "10.0.0.1:7946", WantReply: true, Buffer: buf}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := transport.EncodeRequest(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := transport.DecodeMessage(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricExchange(b *testing.B) {
+	f := transport.NewFabric()
+	handler := func(req transport.Request) (transport.Response, bool) {
+		return transport.Response{From: "b", Buffer: req.Buffer}, req.WantReply
+	}
+	a, err := f.Endpoint("a", handler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Endpoint("b", handler); err != nil {
+		b.Fatal(err)
+	}
+	req := transport.Request{From: "a", WantReply: true,
+		Buffer: []transport.Descriptor{{Addr: "x", Hop: 1}}}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.Exchange(ctx, "b", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section. Each benchmark runs the corresponding experiment
+// driver at the "quick" reproduction scale (N=500, c=30 — every
+// qualitative shape of the paper holds there; see EXPERIMENTS.md for
+// paper-scale numbers) and prints the paper-shaped result table once.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale reproduction (N=10^4, c=30, 300 cycles, 100 repetitions):
+//
+//	go run ./cmd/experiments -scale full
+package peersampling_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"peersampling/internal/scenario"
+)
+
+// benchSeed keeps all harness benchmarks deterministic.
+const benchSeed = 1
+
+// printOnce emits each experiment's rendered table exactly once per
+// process so benchmark reruns (-benchtime, b.N growth) do not spam.
+var printOnce sync.Map
+
+func report(b *testing.B, id string, render func() string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		fmt.Printf("\n%s\n", render())
+	}
+}
+
+func BenchmarkTable1GrowingPartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunTable1(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkFigure2GrowingDynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunFigure2(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkFigure3ConvergenceDynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunFigure3(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkFigure4DegreeDistributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunFigure4(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkTable2DegreeDynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunTable2(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkFigure5Autocorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunFigure5(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkFigure6CatastrophicFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunFigure6(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkFigure7SelfHealing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunFigure7(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkExclusionStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunExclusion(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkSamplingUniformity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunUniformity(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkContinuousChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunChurn(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}
+
+func BenchmarkViewSizeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenario.RunAblation(scenario.Quick, benchSeed)
+		report(b, res.ID(), res.Render)
+	}
+}

@@ -1,0 +1,238 @@
+// Package broadcast implements gossip-based epidemic information
+// dissemination on top of a peer sampling service — the canonical
+// application class that motivates the paper (its reference [6, 9]
+// lineage: anti-entropy and rumor mongering).
+//
+// The engine is round-based: in every round each infected node picks
+// `fanout` peers from its peer source and infects them. Two peer sources
+// are provided: the ideal uniform sampler the literature assumes, and a
+// gossip overlay maintained by the peer sampling protocols — so the effect
+// of non-uniform sampling on dissemination can be measured directly.
+package broadcast
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"peersampling/internal/sim"
+)
+
+// Mode selects the epidemic variant.
+type Mode uint8
+
+const (
+	// InfectForever: infected nodes gossip in every subsequent round
+	// (proactive anti-entropy style).
+	InfectForever Mode = iota + 1
+	// InfectAndDie: infected nodes gossip for TTL rounds after infection,
+	// then stop (rumor mongering style).
+	InfectAndDie
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case InfectForever:
+		return "infect-forever"
+	case InfectAndDie:
+		return "infect-and-die"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// PeerSource provides gossip targets for a node. Implementations must
+// tolerate being asked for more peers than they can supply.
+type PeerSource interface {
+	// PeersOf returns up to fanout gossip targets for node id.
+	PeersOf(id int32, fanout int) []int32
+	// Size returns the number of nodes in the population.
+	Size() int
+	// Step advances the source by one round (e.g. runs a gossip cycle of
+	// the underlying overlay); the uniform source does nothing.
+	Step()
+}
+
+// Config parameterises a dissemination run.
+type Config struct {
+	// Fanout is the number of peers an infected node gossips to per
+	// round.
+	Fanout int
+	// Mode selects the epidemic variant.
+	Mode Mode
+	// TTL is the number of rounds a node gossips after infection
+	// (InfectAndDie only).
+	TTL int
+	// MaxRounds bounds the run; the epidemic usually saturates in
+	// O(log N) rounds.
+	MaxRounds int
+	// Source is the node where the rumor starts.
+	Source int32
+	// Seed drives all randomness of the run.
+	Seed uint64
+}
+
+func (c Config) validate(n int) error {
+	if c.Fanout <= 0 {
+		return fmt.Errorf("broadcast: fanout must be positive, got %d", c.Fanout)
+	}
+	if c.Mode != InfectForever && c.Mode != InfectAndDie {
+		return fmt.Errorf("broadcast: invalid mode %d", c.Mode)
+	}
+	if c.Mode == InfectAndDie && c.TTL <= 0 {
+		return fmt.Errorf("broadcast: infect-and-die needs TTL > 0, got %d", c.TTL)
+	}
+	if c.MaxRounds <= 0 {
+		return fmt.Errorf("broadcast: max rounds must be positive, got %d", c.MaxRounds)
+	}
+	if int(c.Source) >= n || c.Source < 0 {
+		return fmt.Errorf("broadcast: source %d out of range for %d nodes", c.Source, n)
+	}
+	return nil
+}
+
+// Result reports one dissemination run.
+type Result struct {
+	// InfectedPerRound[r] is the number of infected nodes after round r
+	// (index 0 is the initial state with one infected node).
+	InfectedPerRound []int
+	// RoundsToAll is the first round at which every node was infected,
+	// or -1 if coverage was incomplete at MaxRounds.
+	RoundsToAll int
+	// NeverReached is the number of nodes still uninfected at the end.
+	NeverReached int
+}
+
+// Coverage returns the final fraction of infected nodes.
+func (r Result) Coverage() float64 {
+	if len(r.InfectedPerRound) == 0 {
+		return 0
+	}
+	last := r.InfectedPerRound[len(r.InfectedPerRound)-1]
+	return float64(last) / float64(last+r.NeverReached)
+}
+
+// Run executes one epidemic dissemination over the given peer source.
+func Run(cfg Config, src PeerSource) (Result, error) {
+	n := src.Size()
+	if err := cfg.validate(n); err != nil {
+		return Result{}, err
+	}
+	infected := make([]bool, n)
+	infected[cfg.Source] = true
+	// remaining gossip rounds per node (InfectAndDie); -1 = forever.
+	budget := make([]int, n)
+	if cfg.Mode == InfectAndDie {
+		budget[cfg.Source] = cfg.TTL
+	} else {
+		for i := range budget {
+			budget[i] = -1
+		}
+	}
+	count := 1
+	res := Result{InfectedPerRound: []int{count}, RoundsToAll: -1}
+
+	active := []int32{cfg.Source}
+	for round := 1; round <= cfg.MaxRounds && count < n; round++ {
+		next := active[:0:len(active)] // fresh slice, reuse capacity
+		newlyInfected := []int32{}
+		for _, id := range active {
+			targets := src.PeersOf(id, cfg.Fanout)
+			for _, t := range targets {
+				if int(t) >= n || t < 0 || infected[t] {
+					continue
+				}
+				infected[t] = true
+				count++
+				if cfg.Mode == InfectAndDie {
+					budget[t] = cfg.TTL
+				}
+				newlyInfected = append(newlyInfected, t)
+			}
+			if cfg.Mode == InfectAndDie {
+				budget[id]--
+				if budget[id] > 0 {
+					next = append(next, id)
+				}
+			} else {
+				next = append(next, id)
+			}
+		}
+		active = append(next, newlyInfected...)
+		res.InfectedPerRound = append(res.InfectedPerRound, count)
+		if count == n && res.RoundsToAll < 0 {
+			res.RoundsToAll = round
+		}
+		src.Step()
+	}
+	res.NeverReached = n - count
+	return res, nil
+}
+
+// UniformSource is the idealised peer source the gossip literature
+// assumes: every call returns independent uniform random peers.
+type UniformSource struct {
+	n   int
+	rng *rand.Rand
+}
+
+var _ PeerSource = (*UniformSource)(nil)
+
+// NewUniformSource returns a uniform source over n nodes.
+func NewUniformSource(n int, seed uint64) *UniformSource {
+	return &UniformSource{n: n, rng: rand.New(rand.NewPCG(seed, 0xB07))}
+}
+
+// PeersOf implements PeerSource.
+func (u *UniformSource) PeersOf(id int32, fanout int) []int32 {
+	out := make([]int32, 0, fanout)
+	for len(out) < fanout {
+		p := int32(u.rng.IntN(u.n))
+		if p != id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Size implements PeerSource.
+func (u *UniformSource) Size() int { return u.n }
+
+// Step implements PeerSource (no-op).
+func (u *UniformSource) Step() {}
+
+// OverlaySource samples gossip targets from the live views of a peer
+// sampling simulation; every dissemination round advances the overlay by
+// one gossip cycle, so the application and the sampling layer evolve
+// together exactly as they would in a deployment.
+type OverlaySource struct {
+	net *sim.Network
+}
+
+var _ PeerSource = (*OverlaySource)(nil)
+
+// NewOverlaySource adapts a simulation (construct it with
+// peersampling.NewRandomOverlay or the scenario builders).
+func NewOverlaySource(net *sim.Network) *OverlaySource {
+	return &OverlaySource{net: net}
+}
+
+// PeersOf implements PeerSource: repeated getPeer() calls on the node's
+// current view.
+func (o *OverlaySource) PeersOf(id int32, fanout int) []int32 {
+	out := make([]int32, 0, fanout)
+	for i := 0; i < fanout; i++ {
+		p, err := o.net.SamplePeer(id)
+		if err != nil {
+			break // empty view: nothing to gossip to this round
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Size implements PeerSource.
+func (o *OverlaySource) Size() int { return o.net.Size() }
+
+// Step implements PeerSource: one gossip cycle of the overlay.
+func (o *OverlaySource) Step() { o.net.RunCycle() }

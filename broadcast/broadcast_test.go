@@ -1,0 +1,190 @@
+package broadcast
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"peersampling/internal/core"
+	"peersampling/internal/graph"
+	"peersampling/internal/sim"
+
+	"math/rand/v2"
+)
+
+func newOverlay(t *testing.T, n, c int, proto core.Protocol, warmup int) *sim.Network {
+	t.Helper()
+	w := sim.MustNew(sim.Config{Protocol: proto, ViewSize: c, Seed: 5})
+	for i := 0; i < n; i++ {
+		w.Add(nil)
+	}
+	rng := rand.New(rand.NewPCG(6, 6))
+	for id, view := range graph.RandomOutViews(n, c, rng) {
+		descs := make([]core.Descriptor[sim.NodeID], len(view))
+		for i, p := range view {
+			descs[i] = core.Descriptor[sim.NodeID]{Addr: p, Hop: 0}
+		}
+		w.Node(sim.NodeID(id)).Bootstrap(descs)
+	}
+	w.Run(warmup)
+	return w
+}
+
+func TestModeString(t *testing.T) {
+	if InfectForever.String() != "infect-forever" || InfectAndDie.String() != "infect-and-die" {
+		t.Error("mode names wrong")
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Error("unknown mode not diagnostic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	src := NewUniformSource(10, 1)
+	bad := []Config{
+		{Fanout: 0, Mode: InfectForever, MaxRounds: 5},
+		{Fanout: 1, Mode: 0, MaxRounds: 5},
+		{Fanout: 1, Mode: InfectAndDie, TTL: 0, MaxRounds: 5},
+		{Fanout: 1, Mode: InfectForever, MaxRounds: 0},
+		{Fanout: 1, Mode: InfectForever, MaxRounds: 5, Source: 10},
+		{Fanout: 1, Mode: InfectForever, MaxRounds: 5, Source: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, src); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestUniformDisseminationSaturates(t *testing.T) {
+	const n = 500
+	src := NewUniformSource(n, 2)
+	res, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 40, Seed: 3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsToAll < 0 {
+		t.Fatalf("epidemic never saturated: %+v", res.InfectedPerRound)
+	}
+	// Push epidemics cover N nodes in O(log N) rounds; allow slack.
+	if res.RoundsToAll > 30 {
+		t.Errorf("saturation took %d rounds, want O(log n)", res.RoundsToAll)
+	}
+	if res.Coverage() != 1 || res.NeverReached != 0 {
+		t.Errorf("coverage %v, never reached %d", res.Coverage(), res.NeverReached)
+	}
+	// Monotone infection counts.
+	for i := 1; i < len(res.InfectedPerRound); i++ {
+		if res.InfectedPerRound[i] < res.InfectedPerRound[i-1] {
+			t.Fatal("infection count decreased")
+		}
+	}
+}
+
+func TestInfectAndDieCanDieOut(t *testing.T) {
+	// TTL 1, fanout 1: the rumor dies out quickly with high probability
+	// in a large group; the engine must terminate and report partial
+	// coverage rather than loop.
+	src := NewUniformSource(2000, 4)
+	res, err := Run(Config{Fanout: 1, Mode: InfectAndDie, TTL: 1, MaxRounds: 100, Seed: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() >= 1 {
+		t.Skip("rumor survived against the odds; nothing to assert")
+	}
+	if res.NeverReached == 0 {
+		t.Error("incomplete run reported zero never-reached")
+	}
+	if res.RoundsToAll != -1 {
+		t.Error("incomplete run reported a saturation round")
+	}
+}
+
+func TestInfectAndDieSaturatesWithBudget(t *testing.T) {
+	src := NewUniformSource(300, 6)
+	res, err := Run(Config{Fanout: 3, Mode: InfectAndDie, TTL: 5, MaxRounds: 60, Seed: 7}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 0.99 {
+		t.Errorf("coverage = %v want ~1 with fanout 3, TTL 5", res.Coverage())
+	}
+}
+
+func TestOverlayDisseminationMatchesUniformShape(t *testing.T) {
+	const n, c = 400, 15
+	w := newOverlay(t, n, c, core.Newscast, 30)
+	overlay, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 60, Seed: 8},
+		NewOverlaySource(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 60, Seed: 8},
+		NewUniformSource(n, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlay.Coverage() < 1 {
+		t.Errorf("overlay dissemination incomplete: %v", overlay.Coverage())
+	}
+	// The overlay costs at most a small constant factor over uniform —
+	// the paper's point is that the overlays still support dissemination
+	// even though they are not uniformly random.
+	if uniform.RoundsToAll > 0 && overlay.RoundsToAll > 3*uniform.RoundsToAll {
+		t.Errorf("overlay needed %d rounds, uniform %d", overlay.RoundsToAll, uniform.RoundsToAll)
+	}
+}
+
+func TestOverlaySourceBasics(t *testing.T) {
+	w := newOverlay(t, 50, 8, core.Newscast, 10)
+	src := NewOverlaySource(w)
+	if src.Size() != 50 {
+		t.Errorf("size = %d", src.Size())
+	}
+	peers := src.PeersOf(0, 3)
+	if len(peers) != 3 {
+		t.Errorf("got %d peers want 3", len(peers))
+	}
+	for _, p := range peers {
+		if !w.Node(0).View().Contains(p) {
+			t.Errorf("peer %d not in node 0's view", p)
+		}
+	}
+	before := w.Cycle()
+	src.Step()
+	if w.Cycle() != before+1 {
+		t.Error("Step did not advance the overlay")
+	}
+}
+
+func TestUniformSourceNeverReturnsSelf(t *testing.T) {
+	src := NewUniformSource(3, 11)
+	for i := 0; i < 300; i++ {
+		for _, p := range src.PeersOf(1, 2) {
+			if p == 1 {
+				t.Fatal("uniform source returned the asking node")
+			}
+		}
+	}
+}
+
+func TestLogarithmicScaling(t *testing.T) {
+	// Rounds-to-coverage must grow roughly logarithmically: quadrupling
+	// the population should add only a few rounds.
+	round := func(n int) int {
+		res, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 80, Seed: 13},
+			NewUniformSource(n, uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RoundsToAll < 0 {
+			t.Fatalf("no saturation at n=%d", n)
+		}
+		return res.RoundsToAll
+	}
+	small, large := round(250), round(1000)
+	if growth := large - small; growth > int(math.Ceil(4*math.Log2(4))) {
+		t.Errorf("rounds grew by %d from n=250 to n=1000; expected logarithmic growth", growth)
+	}
+}

@@ -1,0 +1,82 @@
+// Command experiments reproduces every table and figure of the paper's
+// evaluation section and prints paper-shaped text tables.
+//
+// Usage:
+//
+//	experiments -scale quick                  # all experiments, seconds
+//	experiments -scale full -run table1,figure7
+//
+// Scales: quick (N=500), medium (N=2500), full (the paper's N=10^4,
+// c=30, 300 cycles, 100 repetitions). Experiment IDs: table1, figure2,
+// figure3, figure4, table2, figure5, figure6, figure7, exclusion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"peersampling/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		scaleName = flag.String("scale", "quick", "quick, medium or full")
+		runList   = flag.String("run", "all", "comma-separated experiment IDs, or all")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		csvDir    = flag.String("csv", "", "directory for raw CSV series (figures only)")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sc, err := scenario.ScaleByName(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var defs []scenario.Def
+	if *runList == "all" {
+		defs = scenario.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			def, ok := scenario.Find(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("unknown experiment %q", id)
+			}
+			defs = append(defs, def)
+		}
+	}
+
+	fmt.Printf("reproduction scale %q: N=%d, c=%d, %d cycles, %d repetitions\n\n",
+		sc.Name, sc.N, sc.ViewSize, sc.Cycles, sc.Reps)
+	for _, def := range defs {
+		start := time.Now()
+		result := def.Run(sc, *seed)
+		fmt.Printf("=== %s — %s (%.1fs)\n\n", def.ID, def.Title, time.Since(start).Seconds())
+		fmt.Println(result.Render())
+		if *csvDir == "" {
+			continue
+		}
+		if csver, ok := result.(scenario.CSVer); ok {
+			for stem, content := range csver.CSV() {
+				path := filepath.Join(*csvDir, stem+".csv")
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+	}
+}

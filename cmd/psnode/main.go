@@ -1,0 +1,95 @@
+// Command psnode runs a real peer sampling node over TCP: the deployable
+// daemon form of the service. Peers find each other through the -contacts
+// bootstrap list and keep gossiping membership from then on.
+//
+// Usage:
+//
+//	psnode -listen 127.0.0.1:7946
+//	psnode -listen 127.0.0.1:7947 -contacts 127.0.0.1:7946
+//
+// Every -report interval the daemon prints its current view and a
+// getPeer() sample. Stop with SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"peersampling"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("psnode: ")
+
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		contacts  = flag.String("contacts", "", "comma-separated bootstrap addresses")
+		protoFlag = flag.String("protocol", "(rand,head,pushpull)", "protocol tuple")
+		viewSize  = flag.Int("c", 30, "view size")
+		period    = flag.Duration("period", time.Second, "gossip period T")
+		report    = flag.Duration("report", 5*time.Second, "view report interval")
+		diverse   = flag.Bool("diverse", false, "diversity-maximising getPeer")
+	)
+	flag.Parse()
+
+	proto, err := peersampling.ParseProtocol(*protoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := peersampling.NewNode(peersampling.NodeConfig{
+		Protocol: proto,
+		ViewSize: *viewSize,
+		Period:   *period,
+		Diverse:  *diverse,
+		OnError:  func(err error) { log.Printf("exchange failed: %v", err) },
+	}, peersampling.TCPFactory(*listen))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	if *contacts != "" {
+		list := strings.Split(*contacts, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		if err := node.Init(list); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s, protocol %s, c=%d, period %v", node.Addr(), proto, *viewSize, *period)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			log.Print("shutting down")
+			return
+		case <-ticker.C:
+			view := node.View()
+			entries := make([]string, len(view))
+			for i, d := range view {
+				entries[i] = fmt.Sprintf("%s@%d", d.Addr, d.Hop)
+			}
+			cycles, exchanges, failures, handled := node.Stats()
+			log.Printf("view(%d): %s", len(view), strings.Join(entries, " "))
+			log.Printf("stats: cycles=%d exchanges=%d failures=%d served=%d", cycles, exchanges, failures, handled)
+			if peer, err := node.GetPeer(); err == nil {
+				log.Printf("getPeer() -> %s", peer)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command quickstart spins up a small in-process cluster of peer sampling
+// nodes (Newscast configuration), lets them gossip for a moment, and then
+// uses the service API — init() and getPeer() — the way a gossip
+// application would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"peersampling"
+)
+
+func main() {
+	const (
+		clusterSize = 20
+		viewSize    = 8
+	)
+
+	// The in-memory fabric stands in for a real network; swap in
+	// peersampling.TCPFactory("0.0.0.0:0") to run over TCP.
+	fabric := peersampling.NewFabric()
+	factory := fabric.Factory("node")
+
+	nodes := make([]*peersampling.Node, 0, clusterSize)
+	for i := 0; i < clusterSize; i++ {
+		node, err := peersampling.NewNode(peersampling.NodeConfig{
+			Protocol: peersampling.Newscast(),
+			ViewSize: viewSize,
+			Period:   20 * time.Millisecond,
+			Seed:     uint64(i) + 1,
+		}, factory)
+		if err != nil {
+			log.Fatalf("creating node: %v", err)
+		}
+		defer node.Close()
+		nodes = append(nodes, node)
+	}
+
+	// Bootstrap: every node knows exactly one contact (its ring
+	// neighbour); gossip does the rest.
+	for i, node := range nodes {
+		if err := node.Init([]string{nodes[(i+1)%clusterSize].Addr()}); err != nil {
+			log.Fatalf("init: %v", err)
+		}
+		if err := node.Start(); err != nil {
+			log.Fatalf("start: %v", err)
+		}
+	}
+
+	// Let the active threads run a few periods.
+	time.Sleep(500 * time.Millisecond)
+
+	fmt.Println("view of node-0 after convergence:")
+	for _, d := range nodes[0].View() {
+		fmt.Printf("  %-8s (age %d)\n", d.Addr, d.Hop)
+	}
+
+	fmt.Println("\nten getPeer() samples from node-0:")
+	for i := 0; i < 10; i++ {
+		peer, err := nodes[0].GetPeer()
+		if err != nil {
+			log.Fatalf("getPeer: %v", err)
+		}
+		fmt.Printf("  %s\n", peer)
+	}
+
+	cycles, exchanges, failures, handled := nodes[0].Stats()
+	fmt.Printf("\nnode-0 stats: %d cycles, %d active exchanges (%d failed), %d passive exchanges served\n",
+		cycles, exchanges, failures, handled)
+}

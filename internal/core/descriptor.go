@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Descriptor is a single entry of a partial view: the address of a peer
+// together with a hop count that records how many exchanges ago the
+// information originated at that peer. A freshly injected descriptor has
+// hop count zero; every network hop increments it by one.
+type Descriptor[A comparable] struct {
+	Addr A
+	Hop  int32
+}
+
+// String renders the descriptor as "addr@hop".
+func (d Descriptor[A]) String() string {
+	return fmt.Sprintf("%v@%d", d.Addr, d.Hop)
+}
+
+// IncreaseHop increments the hop count of every descriptor in buf in
+// place, implementing the paper's increaseHopCount step that runs on every
+// received view.
+func IncreaseHop[A comparable](buf []Descriptor[A]) {
+	for i := range buf {
+		buf[i].Hop++
+	}
+}
+
+// SortByHop stably sorts buf by increasing hop count. Descriptors with
+// equal hop counts keep their relative order, matching the paper's remark
+// that the first and last k elements are not always uniquely defined by
+// the ordering.
+func SortByHop[A comparable](buf []Descriptor[A]) {
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].Hop < buf[j].Hop })
+}
+
+// Merge returns the union of the two hop-ordered descriptor lists, ordered
+// again by increasing hop count. When both lists contain a descriptor for
+// the same address only the one with the lowest hop count survives; on a
+// tie the descriptor from the first list wins (the merge is stable). The
+// inputs must each be sorted by hop count and free of duplicate addresses;
+// the result is a freshly allocated slice.
+func Merge[A comparable](first, second []Descriptor[A]) []Descriptor[A] {
+	out := make([]Descriptor[A], 0, len(first)+len(second))
+	i, j := 0, 0
+	for i < len(first) || j < len(second) {
+		var d Descriptor[A]
+		switch {
+		case j >= len(second):
+			d = first[i]
+			i++
+		case i >= len(first):
+			d = second[j]
+			j++
+		case second[j].Hop < first[i].Hop:
+			d = second[j]
+			j++
+		default: // ties favour the first list, keeping the merge stable
+			d = first[i]
+			i++
+		}
+		if containsAddr(out, d.Addr) {
+			// The earlier occurrence necessarily has a lower or equal hop
+			// count because the output is produced in hop order.
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// containsAddr reports whether buf already holds a descriptor for addr.
+// Views are tiny (tens of entries) so a linear scan beats a map both in
+// allocations and in wall-clock time.
+func containsAddr[A comparable](buf []Descriptor[A], addr A) bool {
+	for i := range buf {
+		if buf[i].Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// dropAddr returns buf with any descriptor for addr removed, preserving
+// order. It mutates buf's backing array.
+func dropAddr[A comparable](buf []Descriptor[A], addr A) []Descriptor[A] {
+	for i := range buf {
+		if buf[i].Addr == addr {
+			return append(buf[:i], buf[i+1:]...)
+		}
+	}
+	return buf
+}

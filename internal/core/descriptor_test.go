@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func descs(pairs ...int32) []Descriptor[int32] {
+	if len(pairs)%2 != 0 {
+		panic("descs: want addr,hop pairs")
+	}
+	out := make([]Descriptor[int32], 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Descriptor[int32]{Addr: pairs[i], Hop: pairs[i+1]})
+	}
+	return out
+}
+
+func TestIncreaseHop(t *testing.T) {
+	buf := descs(1, 0, 2, 5, 3, 7)
+	IncreaseHop(buf)
+	want := descs(1, 1, 2, 6, 3, 8)
+	if len(buf) != len(want) {
+		t.Fatalf("length changed: got %d want %d", len(buf), len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Errorf("entry %d: got %v want %v", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestIncreaseHopEmpty(t *testing.T) {
+	IncreaseHop[int32](nil) // must not panic
+}
+
+func TestSortByHopStable(t *testing.T) {
+	buf := descs(5, 2, 1, 0, 4, 2, 2, 1, 3, 2)
+	SortByHop(buf)
+	want := descs(1, 0, 2, 1, 5, 2, 4, 2, 3, 2)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("entry %d: got %v want %v (full: %v)", i, buf[i], want[i], buf)
+		}
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	a := descs(1, 0, 2, 3)
+	b := descs(3, 1, 4, 5)
+	got := Merge(a, b)
+	want := descs(1, 0, 3, 1, 2, 3, 4, 5)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeLowestHopWins(t *testing.T) {
+	a := descs(7, 4)
+	b := descs(7, 2)
+	got := Merge(a, b)
+	if len(got) != 1 || got[0] != (Descriptor[int32]{Addr: 7, Hop: 2}) {
+		t.Fatalf("got %v, want single 7@2", got)
+	}
+	// And symmetrically when the first list holds the fresher copy.
+	got = Merge(b, a)
+	if len(got) != 1 || got[0] != (Descriptor[int32]{Addr: 7, Hop: 2}) {
+		t.Fatalf("got %v, want single 7@2", got)
+	}
+}
+
+func TestMergeTieFavorsFirst(t *testing.T) {
+	// Same address, same hop: indistinguishable. Different addresses with
+	// equal hops: the first list's entries must come first (stability).
+	a := descs(1, 3)
+	b := descs(2, 3)
+	got := Merge(a, b)
+	want := descs(1, 3, 2, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := descs(1, 1)
+	if got := Merge(a, nil); len(got) != 1 || got[0] != a[0] {
+		t.Fatalf("merge with nil second: got %v", got)
+	}
+	if got := Merge(nil, a); len(got) != 1 || got[0] != a[0] {
+		t.Fatalf("merge with nil first: got %v", got)
+	}
+	if got := Merge[int32](nil, nil); len(got) != 0 {
+		t.Fatalf("merge of nils: got %v", got)
+	}
+}
+
+func TestMergeDoesNotAliasInputs(t *testing.T) {
+	a := descs(1, 0, 2, 1)
+	b := descs(3, 2)
+	got := Merge(a, b)
+	got[0].Hop = 99
+	if a[0].Hop != 0 {
+		t.Fatal("merge result aliases its first input")
+	}
+}
+
+// randomSortedView builds a hop-sorted, duplicate-free descriptor list
+// from fuzz input.
+func randomSortedView(addrs []uint16, hops []uint8) []Descriptor[int32] {
+	out := make([]Descriptor[int32], 0, len(addrs))
+	for i, a := range addrs {
+		var hop int32
+		if i < len(hops) {
+			hop = int32(hops[i] % 16)
+		}
+		d := Descriptor[int32]{Addr: int32(a % 64), Hop: hop}
+		if !containsAddr(out, d.Addr) {
+			out = append(out, d)
+		}
+	}
+	SortByHop(out)
+	return out
+}
+
+func TestMergePropertyUnion(t *testing.T) {
+	f := func(addrsA, addrsB []uint16, hopsA, hopsB []uint8) bool {
+		a := randomSortedView(addrsA, hopsA)
+		b := randomSortedView(addrsB, hopsB)
+		m := Merge(a, b)
+		// Sorted by hop.
+		for i := 1; i < len(m); i++ {
+			if m[i].Hop < m[i-1].Hop {
+				return false
+			}
+		}
+		// Unique addresses, and each has the minimum hop of its sources.
+		seen := map[int32]bool{}
+		for _, d := range m {
+			if seen[d.Addr] {
+				return false
+			}
+			seen[d.Addr] = true
+			want := int32(1 << 30)
+			for _, src := range [][]Descriptor[int32]{a, b} {
+				for _, s := range src {
+					if s.Addr == d.Addr && s.Hop < want {
+						want = s.Hop
+					}
+				}
+			}
+			if d.Hop != want {
+				return false
+			}
+		}
+		// Every source address appears.
+		for _, src := range [][]Descriptor[int32]{a, b} {
+			for _, s := range src {
+				if !seen[s.Addr] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSetCommutativity(t *testing.T) {
+	// As address sets (with minimal hops), merge is commutative even
+	// though the order of equal-hop entries is not.
+	f := func(addrsA, addrsB []uint16, hopsA, hopsB []uint8) bool {
+		a := randomSortedView(addrsA, hopsA)
+		b := randomSortedView(addrsB, hopsB)
+		ab := Merge(a, b)
+		ba := Merge(b, a)
+		if len(ab) != len(ba) {
+			return false
+		}
+		m := map[int32]int32{}
+		for _, d := range ab {
+			m[d.Addr] = d.Hop
+		}
+		for _, d := range ba {
+			if h, ok := m[d.Addr]; !ok || h != d.Hop {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	f := func(addrs []uint16, hops []uint8) bool {
+		a := randomSortedView(addrs, hops)
+		m := Merge(a, a)
+		if len(m) != len(a) {
+			return false
+		}
+		for i := range a {
+			if m[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropAddr(t *testing.T) {
+	buf := descs(1, 0, 2, 1, 3, 2)
+	buf = dropAddr(buf, 2)
+	want := descs(1, 0, 3, 2)
+	if len(buf) != len(want) {
+		t.Fatalf("got %v want %v", buf, want)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("got %v want %v", buf, want)
+		}
+	}
+	if got := dropAddr(buf, 99); len(got) != 2 {
+		t.Fatalf("dropping absent addr changed slice: %v", got)
+	}
+}
+
+func TestSampleOrderedProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func(addrs []uint16, hops []uint8, kRaw uint8) bool {
+		buf := randomSortedView(addrs, hops)
+		if len(buf) == 0 {
+			return true
+		}
+		k := int(kRaw)%len(buf) + 1
+		got := sampleOrdered(buf, k, rng)
+		if len(got) != k {
+			return false
+		}
+		// Subset of buf, order preserved (hop-sorted), no duplicates.
+		for i := 1; i < len(got); i++ {
+			if got[i].Hop < got[i-1].Hop {
+				return false
+			}
+		}
+		seen := map[int32]bool{}
+		for _, d := range got {
+			if seen[d.Addr] {
+				return false
+			}
+			seen[d.Addr] = true
+			if !containsAddr(buf, d.Addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleOrderedUniform(t *testing.T) {
+	// Drawing 1 element from 4 must be close to uniform.
+	rng := rand.New(rand.NewPCG(3, 4))
+	buf := descs(0, 0, 1, 1, 2, 2, 3, 3)
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		got := sampleOrdered(buf, 1, rng)
+		counts[got[0].Addr]++
+	}
+	for a, c := range counts {
+		if c < trials/4-600 || c > trials/4+600 {
+			t.Errorf("address %d drawn %d times, want ~%d", a, c, trials/4)
+		}
+	}
+}

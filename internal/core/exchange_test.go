@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestExchangeGolden pins the exact view contents after one exchange for
+// each (view selection, propagation) combination, on a fixed tiny
+// topology. These are golden semantics tests: any change to merge order,
+// tie-breaking, hop accounting or self-filtering shows up here first.
+func TestExchangeGolden(t *testing.T) {
+	type want struct {
+		a []Descriptor[int32] // initiator view after the exchange
+		b []Descriptor[int32] // passive view after the exchange
+	}
+	// Shared setup: a=1 with view [2@1 3@2 4@3], b=2 with view [5@1 6@2 7@3],
+	// capacity 3. a initiates toward b (head peer selection would pick 2;
+	// we force the peer deterministically via PeerHead).
+	//
+	// Push message from a: [1@0 2@1 3@2 4@3]; b increments: [1@1 2@2 3@3 4@4],
+	// drops its own id 2, merges with [5@1 6@2 7@3] (received first on ties).
+	// Reply from b (pull-enabled): [2@0 5@1 6@2 7@3]; a increments:
+	// [2@1 5@2 6@3 7@4], drops own id 1, merges with a's view.
+	cases := []struct {
+		name string
+		vs   ViewSelection
+		prop Propagation
+		want want
+	}{
+		{
+			name: "head-pushpull",
+			vs:   ViewHead,
+			prop: PushPull,
+			// b's buffer: [1@1, 5@1, 6@2, 3@3, 7@3, 4@4] -> head 3.
+			// a's buffer: [2@1, 5@2, 3@2(own,tie to received? no: own 3@2 vs received 5@2 — received first), ...]
+			// full a merge: received [2@1 5@2 6@3 7@4] + own [2@1 3@2 4@3]:
+			// [2@1, 5@2, 3@2, 6@3, 4@3, 7@4] -> head 3 = [2@1 5@2 3@2].
+			want: want{
+				a: descs(2, 1, 5, 2, 3, 2),
+				b: descs(1, 1, 5, 1, 6, 2),
+			},
+		},
+		{
+			name: "tail-pushpull",
+			vs:   ViewTail,
+			prop: PushPull,
+			// b's buffer: [1@1 5@1 6@2 3@3 7@3 4@4] -> tail 3 = [3@3 7@3 4@4].
+			// a's buffer: [2@1 5@2 3@2 6@3 4@3 7@4] -> tail 3 = [6@3 4@3 7@4].
+			want: want{
+				a: descs(6, 3, 4, 3, 7, 4),
+				b: descs(3, 3, 7, 3, 4, 4),
+			},
+		},
+		{
+			name: "head-push",
+			vs:   ViewHead,
+			prop: Push,
+			// No reply: a unchanged; b merges as above.
+			want: want{
+				a: descs(2, 1, 3, 2, 4, 3),
+				b: descs(1, 1, 5, 1, 6, 2),
+			},
+		},
+		{
+			name: "tail-push",
+			vs:   ViewTail,
+			prop: Push,
+			want: want{
+				a: descs(2, 1, 3, 2, 4, 3),
+				b: descs(3, 3, 7, 3, 4, 4),
+			},
+		},
+		{
+			name: "head-pull",
+			vs:   ViewHead,
+			prop: Pull,
+			// Empty push: b keeps its view (selectView(merge({}, view))).
+			// Reply handling at a as in pushpull.
+			want: want{
+				a: descs(2, 1, 5, 2, 3, 2),
+				b: descs(5, 1, 6, 2, 7, 3),
+			},
+		},
+		{
+			name: "tail-pull",
+			vs:   ViewTail,
+			prop: Pull,
+			want: want{
+				a: descs(6, 3, 4, 3, 7, 4),
+				b: descs(5, 1, 6, 2, 7, 3),
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			proto := Protocol{PeerSel: PeerHead, ViewSel: tc.vs, Prop: tc.prop}
+			a, err := NewNode[int32](1, proto, 3, rand.New(rand.NewPCG(1, 1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewNode[int32](2, proto, 3, rand.New(rand.NewPCG(2, 2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Bootstrap(descs(2, 1, 3, 2, 4, 3))
+			b.Bootstrap(descs(5, 1, 6, 2, 7, 3))
+
+			peer, req, err := a.InitiateExchange()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if peer != 2 {
+				t.Fatalf("head peer selection picked %d want 2", peer)
+			}
+			resp, ok := b.HandleRequest(req)
+			if ok != tc.prop.HasPull() {
+				t.Fatalf("reply presence = %v for %v", ok, tc.prop)
+			}
+			if ok {
+				a.HandleResponse(resp)
+			}
+
+			checkView := func(name string, n *Node[int32], want []Descriptor[int32]) {
+				t.Helper()
+				got := n.View().Descriptors()
+				if len(got) != len(want) {
+					t.Fatalf("%s view = %v want %v", name, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s view[%d] = %v want %v (full: %v)", name, i, got[i], want[i], got)
+					}
+				}
+			}
+			checkView("initiator", a, tc.want.a)
+			checkView("passive", b, tc.want.b)
+		})
+	}
+}
+
+// TestExchangeGoldenRandSelection checks the set-level semantics of rand
+// view selection on the same fixture: the selected entries must be a
+// subset of the full merged buffer with the correct per-address hops.
+func TestExchangeGoldenRandSelection(t *testing.T) {
+	proto := Protocol{PeerSel: PeerHead, ViewSel: ViewRand, Prop: PushPull}
+	a, err := NewNode[int32](1, proto, 3, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode[int32](2, proto, 3, rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Bootstrap(descs(2, 1, 3, 2, 4, 3))
+	b.Bootstrap(descs(5, 1, 6, 2, 7, 3))
+
+	_, req, err := a.InitiateExchange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := b.HandleRequest(req)
+	a.HandleResponse(resp)
+
+	wantHopsA := map[int32]int32{2: 1, 5: 2, 3: 2, 6: 3, 4: 3, 7: 4}
+	v := a.View()
+	if v.Len() != 3 {
+		t.Fatalf("a view len = %d want 3", v.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		d := v.At(i)
+		want, ok := wantHopsA[d.Addr]
+		if !ok {
+			t.Errorf("unexpected view member %v", d)
+			continue
+		}
+		if d.Hop != want {
+			t.Errorf("hop of %d = %d want %d", d.Addr, d.Hop, want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// ErrEmptyView is returned by exchange initiation when the node knows no
+// peers at all; the caller should retry after the next bootstrap or
+// incoming exchange.
+var ErrEmptyView = errors.New("core: view is empty")
+
+// Request is the message an initiating (active) node sends to the selected
+// peer. For push and pushpull protocols Buffer carries the initiator's
+// view merged with its own zero-hop descriptor; for pull-only protocols
+// Buffer is empty and merely triggers a response.
+type Request[A comparable] struct {
+	From   A
+	Buffer []Descriptor[A]
+	// WantReply mirrors Propagation.HasPull of the sender's protocol. It
+	// travels with the message so that transports can route replies
+	// without consulting protocol configuration.
+	WantReply bool
+}
+
+// Response is the message a passive node returns to the initiator of a
+// pull or pushpull exchange.
+type Response[A comparable] struct {
+	From   A
+	Buffer []Descriptor[A]
+}
+
+// Node is the deterministic protocol state machine of a single
+// participant: its own address, its partial view and the protocol tuple it
+// executes. Node is not safe for concurrent use; wrap it (as
+// internal/runtime does) when multiple goroutines are involved.
+type Node[A comparable] struct {
+	self  A
+	proto Protocol
+	view  *View[A]
+	rng   *rand.Rand
+
+	// failedExchanges counts initiations whose peer never answered (only
+	// meaningful when the environment reports failures via OnExchangeFailed).
+	failedExchanges uint64
+}
+
+// NewNode returns a node with an empty view of the given capacity,
+// executing the given protocol. The rng drives rand peer/view selection
+// and must not be shared with other nodes unless access is serialised.
+func NewNode[A comparable](self A, proto Protocol, capacity int, rng *rand.Rand) (*Node[A], error) {
+	if !proto.Valid() {
+		return nil, fmt.Errorf("core: invalid protocol %+v", proto)
+	}
+	if rng == nil {
+		return nil, errors.New("core: nil rng")
+	}
+	return &Node[A]{
+		self:  self,
+		proto: proto,
+		view:  NewView[A](capacity),
+		rng:   rng,
+	}, nil
+}
+
+// Self returns the node's own address.
+func (n *Node[A]) Self() A { return n.self }
+
+// Protocol returns the protocol tuple the node executes.
+func (n *Node[A]) Protocol() Protocol { return n.proto }
+
+// View exposes the node's partial view. Mutating it directly is only
+// appropriate during bootstrap.
+func (n *Node[A]) View() *View[A] { return n.view }
+
+// Bootstrap seeds the view with the given descriptors (typically a single
+// contact node), implementing the init() method of the sampling service.
+// The node's own address is filtered out.
+func (n *Node[A]) Bootstrap(descriptors []Descriptor[A]) {
+	kept := make([]Descriptor[A], 0, len(descriptors))
+	for _, d := range descriptors {
+		if d.Addr != n.self {
+			kept = append(kept, d)
+		}
+	}
+	n.view.SetAll(kept)
+}
+
+// AgeView increments the hop count of every resident descriptor. The
+// environment (simulator or runtime) calls this exactly once per cycle per
+// node, before the node initiates its exchange; see View.Age for why this
+// deviation from the literal Figure 1 pseudocode is required.
+func (n *Node[A]) AgeView() { n.view.Age() }
+
+// SelectPeer picks the exchange partner for this cycle according to the
+// peer selection policy. It returns ErrEmptyView when the view is empty.
+func (n *Node[A]) SelectPeer() (A, error) {
+	var zero A
+	if n.view.Len() == 0 {
+		return zero, ErrEmptyView
+	}
+	switch n.proto.PeerSel {
+	case PeerRand:
+		return n.view.At(n.rng.IntN(n.view.Len())).Addr, nil
+	case PeerHead:
+		return n.view.At(0).Addr, nil
+	case PeerTail:
+		return n.view.At(n.view.Len() - 1).Addr, nil
+	default:
+		return zero, fmt.Errorf("core: invalid peer selection policy %d", n.proto.PeerSel)
+	}
+}
+
+// InitiateExchange runs the first half of the active thread of Figure 1:
+// it selects a peer and builds the request to send. The caller is
+// responsible for delivering the request and, for pull-enabled protocols,
+// feeding the peer's response to HandleResponse.
+func (n *Node[A]) InitiateExchange() (peer A, req Request[A], err error) {
+	peer, err = n.SelectPeer()
+	if err != nil {
+		return peer, Request[A]{}, err
+	}
+	return peer, n.MakeRequest(), nil
+}
+
+// MakeRequest builds the request message of the active thread: for push
+// protocols the view merged with the node's fresh self-descriptor, for
+// pull-only protocols an empty buffer that triggers a response.
+func (n *Node[A]) MakeRequest() Request[A] {
+	req := Request[A]{From: n.self, WantReply: n.proto.Prop.HasPull()}
+	if n.proto.Prop.HasPush() {
+		req.Buffer = n.outgoingBuffer()
+	}
+	return req
+}
+
+// HandleRequest runs the passive thread of Figure 1 for one incoming
+// request: it increments the hop counts of the received buffer, builds the
+// response if the protocol pulls, and installs the merged, truncated view.
+// The returned ok is false for push-only protocols, where no response is
+// sent.
+func (n *Node[A]) HandleRequest(req Request[A]) (resp Response[A], ok bool) {
+	IncreaseHop(req.Buffer)
+	if req.WantReply {
+		// Build the reply before merging, exactly as in Figure 1: the
+		// response carries the pre-merge view plus our own descriptor.
+		resp = Response[A]{From: n.self, Buffer: n.outgoingBuffer()}
+		ok = true
+	}
+	n.applyBuffer(req.Buffer)
+	return resp, ok
+}
+
+// HandleResponse completes a pull or pushpull exchange on the active side:
+// hop counts of the received buffer are incremented and the merged,
+// truncated view is installed.
+func (n *Node[A]) HandleResponse(resp Response[A]) {
+	IncreaseHop(resp.Buffer)
+	n.applyBuffer(resp.Buffer)
+}
+
+// OnExchangeFailed records that the selected peer never answered. The
+// paper's protocols perform no explicit failure handling — state is left
+// untouched and healing happens through view selection only — but the
+// count is useful for diagnostics.
+func (n *Node[A]) OnExchangeFailed(A) { n.failedExchanges++ }
+
+// FailedExchanges returns the number of initiated exchanges for which the
+// environment reported a failure.
+func (n *Node[A]) FailedExchanges() uint64 { return n.failedExchanges }
+
+// outgoingBuffer returns merge(view, {(self, 0)}): the node's view with
+// its own zero-hop descriptor in front. All stored descriptors have hop
+// count >= 1 (they were incremented on receipt), so the self-descriptor
+// sorts strictly first except transiently during bootstrap, where the
+// stable merge still places it before equal-hop entries of the second
+// operand.
+func (n *Node[A]) outgoingBuffer() []Descriptor[A] {
+	self := []Descriptor[A]{{Addr: n.self, Hop: 0}}
+	return Merge(self, n.view.items)
+}
+
+// applyBuffer merges a received buffer into the view and truncates it with
+// the view selection policy, dropping any descriptor of the node itself.
+// Following Figure 1 the received buffer is the first merge operand, so on
+// equal hop counts received descriptors precede resident ones.
+func (n *Node[A]) applyBuffer(received []Descriptor[A]) {
+	merged := Merge(received, n.view.items)
+	merged = dropAddr(merged, n.self)
+	n.view.selectInto(n.proto.ViewSel, merged, n.rng)
+}
+
+// RandomPeer returns a uniform random element of the view, implementing
+// the simplest getPeer() of the sampling service API. It returns
+// ErrEmptyView when no peer is known.
+func (n *Node[A]) RandomPeer() (A, error) {
+	var zero A
+	if n.view.Len() == 0 {
+		return zero, ErrEmptyView
+	}
+	return n.view.At(n.rng.IntN(n.view.Len())).Addr, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import "fmt"
+
+// PeerSelection determines which view entry a node gossips with in each
+// cycle (the selectPeer() placeholder of the protocol skeleton).
+type PeerSelection uint8
+
+// Peer selection policies. Head selects the entry with the lowest hop
+// count (the freshest), tail the one with the highest.
+const (
+	PeerRand PeerSelection = iota + 1
+	PeerHead
+	PeerTail
+)
+
+// String returns the paper's name for the policy (rand, head, tail).
+func (p PeerSelection) String() string {
+	switch p {
+	case PeerRand:
+		return "rand"
+	case PeerHead:
+		return "head"
+	case PeerTail:
+		return "tail"
+	default:
+		return fmt.Sprintf("PeerSelection(%d)", uint8(p))
+	}
+}
+
+// Valid reports whether p is one of the three defined policies.
+func (p PeerSelection) Valid() bool { return p >= PeerRand && p <= PeerTail }
+
+// ParsePeerSelection parses "rand", "head" or "tail".
+func ParsePeerSelection(s string) (PeerSelection, error) {
+	switch s {
+	case "rand":
+		return PeerRand, nil
+	case "head":
+		return PeerHead, nil
+	case "tail":
+		return PeerTail, nil
+	default:
+		return 0, fmt.Errorf("core: unknown peer selection policy %q", s)
+	}
+}
+
+// ViewSelection determines how the merged buffer is truncated back to c
+// entries (the selectView() placeholder of the protocol skeleton).
+type ViewSelection uint8
+
+// View selection policies. Head keeps the c freshest descriptors, tail the
+// c oldest, rand a uniform sample without replacement.
+const (
+	ViewRand ViewSelection = iota + 1
+	ViewHead
+	ViewTail
+)
+
+// String returns the paper's name for the policy (rand, head, tail).
+func (v ViewSelection) String() string {
+	switch v {
+	case ViewRand:
+		return "rand"
+	case ViewHead:
+		return "head"
+	case ViewTail:
+		return "tail"
+	default:
+		return fmt.Sprintf("ViewSelection(%d)", uint8(v))
+	}
+}
+
+// Valid reports whether v is one of the three defined policies.
+func (v ViewSelection) Valid() bool { return v >= ViewRand && v <= ViewTail }
+
+// ParseViewSelection parses "rand", "head" or "tail".
+func ParseViewSelection(s string) (ViewSelection, error) {
+	switch s {
+	case "rand":
+		return ViewRand, nil
+	case "head":
+		return ViewHead, nil
+	case "tail":
+		return ViewTail, nil
+	default:
+		return 0, fmt.Errorf("core: unknown view selection policy %q", s)
+	}
+}
+
+// Propagation determines the symmetry of an exchange: push ships the
+// initiator's view to the peer, pull requests the peer's view, pushpull
+// does both.
+type Propagation uint8
+
+// View propagation policies.
+const (
+	Push Propagation = iota + 1
+	Pull
+	PushPull
+)
+
+// String returns the paper's name for the policy (push, pull, pushpull).
+func (p Propagation) String() string {
+	switch p {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case PushPull:
+		return "pushpull"
+	default:
+		return fmt.Sprintf("Propagation(%d)", uint8(p))
+	}
+}
+
+// Valid reports whether p is one of the three defined policies.
+func (p Propagation) Valid() bool { return p >= Push && p <= PushPull }
+
+// ParsePropagation parses "push", "pull" or "pushpull".
+func ParsePropagation(s string) (Propagation, error) {
+	switch s {
+	case "push":
+		return Push, nil
+	case "pull":
+		return Pull, nil
+	case "pushpull":
+		return PushPull, nil
+	default:
+		return 0, fmt.Errorf("core: unknown propagation policy %q", s)
+	}
+}
+
+// HasPush reports whether the initiator ships its view.
+func (p Propagation) HasPush() bool { return p == Push || p == PushPull }
+
+// HasPull reports whether the initiator expects the peer's view back.
+func (p Propagation) HasPull() bool { return p == Pull || p == PushPull }

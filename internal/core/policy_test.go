@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPeerSelectionStrings(t *testing.T) {
+	cases := map[PeerSelection]string{PeerRand: "rand", PeerHead: "head", PeerTail: "tail"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q want %q", p, p.String(), want)
+		}
+		got, err := ParsePeerSelection(want)
+		if err != nil || got != p {
+			t.Errorf("ParsePeerSelection(%q) = %v,%v want %v", want, got, err, p)
+		}
+		if !p.Valid() {
+			t.Errorf("%v.Valid() = false", p)
+		}
+	}
+	if PeerSelection(0).Valid() || PeerSelection(4).Valid() {
+		t.Error("out-of-range PeerSelection reported valid")
+	}
+	if !strings.Contains(PeerSelection(9).String(), "9") {
+		t.Error("unknown PeerSelection String not diagnostic")
+	}
+	if _, err := ParsePeerSelection("bogus"); err == nil {
+		t.Error("ParsePeerSelection accepted bogus input")
+	}
+}
+
+func TestViewSelectionStrings(t *testing.T) {
+	cases := map[ViewSelection]string{ViewRand: "rand", ViewHead: "head", ViewTail: "tail"}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q want %q", v, v.String(), want)
+		}
+		got, err := ParseViewSelection(want)
+		if err != nil || got != v {
+			t.Errorf("ParseViewSelection(%q) = %v,%v want %v", want, got, err, v)
+		}
+		if !v.Valid() {
+			t.Errorf("%v.Valid() = false", v)
+		}
+	}
+	if ViewSelection(0).Valid() {
+		t.Error("zero ViewSelection reported valid")
+	}
+	if _, err := ParseViewSelection(""); err == nil {
+		t.Error("ParseViewSelection accepted empty input")
+	}
+	if !strings.Contains(ViewSelection(7).String(), "7") {
+		t.Error("unknown ViewSelection String not diagnostic")
+	}
+}
+
+func TestPropagationStrings(t *testing.T) {
+	cases := map[Propagation]string{Push: "push", Pull: "pull", PushPull: "pushpull"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q want %q", p, p.String(), want)
+		}
+		got, err := ParsePropagation(want)
+		if err != nil || got != p {
+			t.Errorf("ParsePropagation(%q) = %v,%v want %v", want, got, err, p)
+		}
+		if !p.Valid() {
+			t.Errorf("%v.Valid() = false", p)
+		}
+	}
+	if _, err := ParsePropagation("gossip"); err == nil {
+		t.Error("ParsePropagation accepted bogus input")
+	}
+	if !strings.Contains(Propagation(8).String(), "8") {
+		t.Error("unknown Propagation String not diagnostic")
+	}
+}
+
+func TestPropagationSymmetry(t *testing.T) {
+	if !Push.HasPush() || Push.HasPull() {
+		t.Error("push flags wrong")
+	}
+	if Pull.HasPush() || !Pull.HasPull() {
+		t.Error("pull flags wrong")
+	}
+	if !PushPull.HasPush() || !PushPull.HasPull() {
+		t.Error("pushpull flags wrong")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestProtocolString(t *testing.T) {
+	if got, want := Newscast.String(), "(rand,head,pushpull)"; got != want {
+		t.Errorf("Newscast.String() = %q want %q", got, want)
+	}
+	if got, want := Lpbcast.String(), "(rand,rand,push)"; got != want {
+		t.Errorf("Lpbcast.String() = %q want %q", got, want)
+	}
+}
+
+func TestParseProtocolRoundTrip(t *testing.T) {
+	for _, p := range AllProtocols() {
+		got, err := ParseProtocol(p.String())
+		if err != nil {
+			t.Fatalf("ParseProtocol(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+}
+
+func TestParseProtocolLenient(t *testing.T) {
+	for _, s := range []string{"tail,head,push", "( tail , head , push )", " (tail,head,push)"} {
+		p, err := ParseProtocol(s)
+		if err != nil {
+			t.Fatalf("ParseProtocol(%q): %v", s, err)
+		}
+		want := Protocol{PeerSel: PeerTail, ViewSel: ViewHead, Prop: Push}
+		if p != want {
+			t.Errorf("ParseProtocol(%q) = %v want %v", s, p, want)
+		}
+	}
+}
+
+func TestParseProtocolErrors(t *testing.T) {
+	for _, s := range []string{"", "rand,head", "rand,head,push,push", "x,head,push", "rand,y,push", "rand,head,z"} {
+		if _, err := ParseProtocol(s); err == nil {
+			t.Errorf("ParseProtocol(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestAllProtocols(t *testing.T) {
+	all := AllProtocols()
+	if len(all) != 27 {
+		t.Fatalf("len = %d want 27", len(all))
+	}
+	seen := map[Protocol]bool{}
+	for _, p := range all {
+		if !p.Valid() {
+			t.Errorf("invalid protocol %v", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate protocol %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestStudiedProtocols(t *testing.T) {
+	studied := StudiedProtocols()
+	if len(studied) != 8 {
+		t.Fatalf("len = %d want 8", len(studied))
+	}
+	for _, p := range studied {
+		if excluded, why := p.Excluded(); excluded {
+			t.Errorf("studied protocol %v is excluded: %s", p, why)
+		}
+	}
+	if studied[0].ViewSel != ViewRand || studied[len(studied)-1].ViewSel != ViewHead {
+		t.Error("unexpected ordering of studied protocols")
+	}
+}
+
+func TestExclusionRules(t *testing.T) {
+	excludedCount := 0
+	for _, p := range AllProtocols() {
+		excluded, why := p.Excluded()
+		if excluded {
+			excludedCount++
+			if why == "" {
+				t.Errorf("%v excluded without reason", p)
+			}
+		}
+	}
+	if excludedCount != 27-8 {
+		t.Errorf("excluded %d protocols, want 19", excludedCount)
+	}
+	if ex, _ := (Protocol{PeerHead, ViewHead, PushPull}).Excluded(); !ex {
+		t.Error("(head,head,pushpull) should be excluded")
+	}
+	if ex, _ := (Protocol{PeerRand, ViewTail, PushPull}).Excluded(); !ex {
+		t.Error("(rand,tail,pushpull) should be excluded")
+	}
+	if ex, _ := (Protocol{PeerRand, ViewHead, Pull}).Excluded(); !ex {
+		t.Error("(rand,head,pull) should be excluded")
+	}
+}
+
+func TestProtocolValid(t *testing.T) {
+	if (Protocol{}).Valid() {
+		t.Error("zero protocol reported valid")
+	}
+	if !Newscast.Valid() {
+		t.Error("Newscast reported invalid")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// View is a partial view: a list of at most Cap descriptors, one per peer
+// address, ordered by increasing hop count. The zero value is not usable;
+// construct views with NewView.
+//
+// Invariants maintained by every method:
+//
+//   - len(items) <= capacity,
+//   - addresses are unique,
+//   - items are sorted by non-decreasing hop count,
+//   - the owner's own address never appears (enforced by Node, which is
+//     the only writer in normal operation).
+type View[A comparable] struct {
+	items    []Descriptor[A]
+	capacity int
+}
+
+// NewView returns an empty view that holds at most capacity descriptors.
+// It panics if capacity is not positive: a view of size zero cannot name
+// any peer and would make the sampling service vacuous.
+func NewView[A comparable](capacity int) *View[A] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("core: view capacity must be positive, got %d", capacity))
+	}
+	return &View[A]{
+		items:    make([]Descriptor[A], 0, capacity),
+		capacity: capacity,
+	}
+}
+
+// Cap returns the maximum number of descriptors the view may hold (the
+// protocol parameter c).
+func (v *View[A]) Cap() int { return v.capacity }
+
+// Len returns the current number of descriptors.
+func (v *View[A]) Len() int { return len(v.items) }
+
+// At returns the i-th descriptor in hop-count order (0 is the head, the
+// freshest entry).
+func (v *View[A]) At(i int) Descriptor[A] { return v.items[i] }
+
+// Descriptors returns a copy of the view contents in hop-count order.
+// Callers may freely mutate the returned slice.
+func (v *View[A]) Descriptors() []Descriptor[A] {
+	out := make([]Descriptor[A], len(v.items))
+	copy(out, v.items)
+	return out
+}
+
+// Addresses returns the peer addresses currently in the view, in hop-count
+// order.
+func (v *View[A]) Addresses() []A {
+	out := make([]A, len(v.items))
+	for i := range v.items {
+		out[i] = v.items[i].Addr
+	}
+	return out
+}
+
+// Contains reports whether the view holds a descriptor for addr.
+func (v *View[A]) Contains(addr A) bool { return containsAddr(v.items, addr) }
+
+// HopOf returns the hop count recorded for addr and whether the address is
+// present.
+func (v *View[A]) HopOf(addr A) (int32, bool) {
+	for i := range v.items {
+		if v.items[i].Addr == addr {
+			return v.items[i].Hop, true
+		}
+	}
+	return 0, false
+}
+
+// Remove deletes the descriptor for addr if present and reports whether a
+// deletion happened.
+func (v *View[A]) Remove(addr A) bool {
+	n := len(v.items)
+	v.items = dropAddr(v.items, addr)
+	return len(v.items) < n
+}
+
+// SetAll replaces the view contents with the given descriptors. The input
+// is copied, deduplicated (lowest hop count wins) and sorted by hop count;
+// at most Cap entries are kept, preferring the freshest ones. SetAll is
+// intended for bootstrap: steady-state updates go through Node.
+func (v *View[A]) SetAll(descriptors []Descriptor[A]) {
+	buf := make([]Descriptor[A], len(descriptors))
+	copy(buf, descriptors)
+	SortByHop(buf)
+	// Deduplicate after sorting: the first occurrence has the lowest hop.
+	out := buf[:0]
+	for _, d := range buf {
+		if !containsAddr(out, d.Addr) {
+			out = append(out, d)
+		}
+	}
+	if len(out) > v.capacity {
+		out = out[:v.capacity]
+	}
+	v.items = append(v.items[:0], out...)
+}
+
+// Age increments the hop count of every descriptor in the view by one.
+// Nodes call this once per cycle: Figure 1 of the paper increments hop
+// counts only on message receipt, but a literal reading freezes the
+// overlay under head view selection (resident descriptors would stay
+// fresh forever), so — following the authors' reference framework in the
+// TOCS 2007 follow-up, where every cycle ends with view.increaseAge() —
+// resident descriptors age between exchanges as well.
+func (v *View[A]) Age() {
+	IncreaseHop(v.items)
+}
+
+// Clone returns an independent deep copy of the view.
+func (v *View[A]) Clone() *View[A] {
+	c := NewView[A](v.capacity)
+	c.items = append(c.items, v.items...)
+	return c
+}
+
+// String renders the view as "[a@0 b@2 ...]".
+func (v *View[A]) String() string {
+	parts := make([]string, len(v.items))
+	for i, d := range v.items {
+		parts[i] = d.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// selectInto truncates buffer to at most capacity entries according to the
+// view selection policy and installs the result as the view contents. The
+// buffer must be hop-ordered and duplicate-free; it is consumed (the view
+// may alias its backing array afterwards).
+func (v *View[A]) selectInto(policy ViewSelection, buffer []Descriptor[A], rng *rand.Rand) {
+	if len(buffer) > v.capacity {
+		switch policy {
+		case ViewHead:
+			buffer = buffer[:v.capacity]
+		case ViewTail:
+			buffer = buffer[len(buffer)-v.capacity:]
+		case ViewRand:
+			buffer = sampleOrdered(buffer, v.capacity, rng)
+		default:
+			panic(fmt.Sprintf("core: invalid view selection policy %d", policy))
+		}
+	}
+	v.items = append(v.items[:0], buffer...)
+}
+
+// sampleOrdered returns k elements of buf chosen uniformly at random
+// without replacement, preserving their original (hop) order. It uses a
+// partial Fisher-Yates over an index permutation so the input slice is
+// left untouched.
+func sampleOrdered[A comparable](buf []Descriptor[A], k int, rng *rand.Rand) []Descriptor[A] {
+	n := len(buf)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	chosen := idx[:k]
+	// Restore hop order by sorting the selected indices.
+	for i := 1; i < len(chosen); i++ {
+		for j := i; j > 0 && chosen[j] < chosen[j-1]; j-- {
+			chosen[j], chosen[j-1] = chosen[j-1], chosen[j]
+		}
+	}
+	out := make([]Descriptor[A], k)
+	for i, ix := range chosen {
+		out[i] = buf[ix]
+	}
+	return out
+}

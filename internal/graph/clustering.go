@@ -1,0 +1,72 @@
+package graph
+
+import "math/rand/v2"
+
+// ClusteringOf returns the local clustering coefficient of node v: the
+// number of edges among v's neighbours divided by the number of possible
+// such edges. Nodes with fewer than two neighbours have coefficient 0 (the
+// Watts-Strogatz convention, under which trees score 0 as in the paper).
+func (g *Graph) ClusteringOf(v int32) float64 {
+	nb := g.adj[v]
+	d := len(nb)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for _, u := range nb {
+		links += sortedIntersectionSize(g.adj[u], nb)
+	}
+	// Every neighbour-neighbour edge was counted twice (once from each
+	// endpoint's membership test).
+	return float64(links) / float64(d*(d-1))
+}
+
+// Clustering returns the clustering coefficient of the graph: the average
+// of the local coefficients over all nodes. It is exact and costs
+// O(sum_v deg(v)^2) time.
+func (g *Graph) Clustering() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v := range g.adj {
+		sum += g.ClusteringOf(int32(v))
+	}
+	return sum / float64(len(g.adj))
+}
+
+// EstimateClustering averages the local clustering coefficient over a
+// uniform random sample of nodes (with replacement). With sample >= n the
+// exact coefficient is returned instead.
+func (g *Graph) EstimateClustering(sample int, rng *rand.Rand) float64 {
+	n := len(g.adj)
+	if n == 0 {
+		return 0
+	}
+	if sample >= n {
+		return g.Clustering()
+	}
+	sum := 0.0
+	for i := 0; i < sample; i++ {
+		sum += g.ClusteringOf(int32(rng.IntN(n)))
+	}
+	return sum / float64(sample)
+}
+
+// sortedIntersectionSize counts the common elements of two sorted slices.
+func sortedIntersectionSize(a, b []int32) int {
+	i, j, count := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}

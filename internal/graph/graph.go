@@ -1,0 +1,92 @@
+// Package graph provides the graph-theoretic analysis substrate used to
+// evaluate peer sampling overlays: degree statistics, clustering
+// coefficients, path lengths, connected components, catastrophic-failure
+// sweeps and the uniform-random-view baseline the paper compares against.
+//
+// All functions operate on the undirected communication graph derived from
+// the directed "knows-about" relation, following Section 4.2 of the paper:
+// if node a holds a descriptor of node b, the undirected edge {a,b} is
+// present.
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Graph is a simple undirected graph over nodes 0..n-1 with sorted
+// adjacency lists. Build one with FromAdjacency or NewUndirected; the zero
+// value is an empty graph.
+type Graph struct {
+	adj   [][]int32
+	edges int
+}
+
+// NewUndirected builds a graph with n nodes from an edge list. Self-loops
+// and duplicate edges are dropped. It panics if an endpoint is out of
+// range, since that always indicates a bug in the caller.
+func NewUndirected(n int, edges [][2]int32) *Graph {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if int(a) >= n || int(b) >= n || a < 0 || b < 0 {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", a, b, n))
+		}
+		if a == b {
+			continue
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	return finish(adj)
+}
+
+// FromAdjacency builds the undirected communication graph from directed
+// out-neighbour lists (one per node, holding node indices). The direction
+// of each link is dropped and duplicates are merged, per Section 4.2 of
+// the paper. Out-entries pointing at the node itself or outside 0..n-1
+// are ignored (the simulator uses this to skip dead peers).
+func FromAdjacency(out [][]int32) *Graph {
+	n := len(out)
+	adj := make([][]int32, n)
+	for a, targets := range out {
+		for _, b := range targets {
+			if int(b) >= n || b < 0 || int(b) == a {
+				continue
+			}
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], int32(a))
+		}
+	}
+	return finish(adj)
+}
+
+// finish sorts and deduplicates adjacency lists and counts edges.
+func finish(adj [][]int32) *Graph {
+	edges := 0
+	for i := range adj {
+		slices.Sort(adj[i])
+		adj[i] = slices.Compact(adj[i])
+		edges += len(adj[i])
+	}
+	return &Graph{adj: adj, edges: edges / 2}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge {a,b} exists.
+func (g *Graph) HasEdge(a, b int32) bool {
+	_, found := slices.BinarySearch(g.adj[a], b)
+	return found
+}

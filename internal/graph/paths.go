@@ -1,0 +1,108 @@
+package graph
+
+import "math/rand/v2"
+
+// BFS computes the hop distance from src to every node. Unreachable nodes
+// get distance -1. The returned slice is freshly allocated.
+func (g *Graph) BFS(src int32) []int32 {
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, len(g.adj))
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, u := range g.adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// AveragePathLength returns the exact mean shortest path length over all
+// reachable ordered pairs of distinct nodes. For disconnected graphs,
+// unreachable pairs are excluded from the average (the paper's overlays
+// are connected whenever this metric is plotted). The second return value
+// is the number of ordered pairs averaged over; it is 0 (with length 0)
+// when no pair is reachable. Cost is one BFS per node.
+func (g *Graph) AveragePathLength() (float64, int) {
+	var sum, pairs int64
+	for v := range g.adj {
+		dist := g.BFS(int32(v))
+		for _, d := range dist {
+			if d > 0 {
+				sum += int64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return float64(sum) / float64(pairs), int(pairs)
+}
+
+// EstimatePathLength estimates the average shortest path length by running
+// BFS from `sources` distinct random source nodes and averaging distances
+// to all reachable targets. With sources >= n it computes the exact value.
+func (g *Graph) EstimatePathLength(sources int, rng *rand.Rand) float64 {
+	n := len(g.adj)
+	if n < 2 {
+		return 0
+	}
+	if sources >= n {
+		l, _ := g.AveragePathLength()
+		return l
+	}
+	var sum, pairs int64
+	for _, src := range sampleIndices(n, sources, rng) {
+		dist := g.BFS(int32(src))
+		for _, d := range dist {
+			if d > 0 {
+				sum += int64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(sum) / float64(pairs)
+}
+
+// Diameter returns the largest finite shortest-path distance in the graph
+// (0 for graphs with fewer than two nodes or no edges).
+func (g *Graph) Diameter() int {
+	var max int32
+	for v := range g.adj {
+		for _, d := range g.BFS(int32(v)) {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return int(max)
+}
+
+// sampleIndices returns k distinct indices from 0..n-1 chosen uniformly at
+// random (partial Fisher-Yates).
+func sampleIndices(n, k int, rng *rand.Rand) []int {
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

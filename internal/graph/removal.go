@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+)
+
+// SweepPoint is one checkpoint of a catastrophic-failure sweep: the state
+// of the graph after Removed random nodes have been deleted.
+type SweepPoint struct {
+	Removed        int // nodes removed so far
+	Survivors      int // nodes remaining
+	Components     int // connected components among survivors
+	Largest        int // size of the largest surviving component
+	OutsideLargest int // survivors not in the largest component (Figure 6's y axis)
+}
+
+// RemovalSweep deletes nodes from g in a uniform random order and reports
+// component statistics at each requested checkpoint (numbers of removed
+// nodes, in any order; they are processed sorted ascending).
+//
+// The sweep runs backwards — starting from the most-damaged state and
+// re-inserting nodes with a union-find — so the whole sweep costs
+// O((n + m) alpha) regardless of the number of checkpoints. This makes the
+// paper's Figure 6 (100 repetitions x 8 protocols x 31 removal fractions)
+// tractable.
+func RemovalSweep(g *Graph, checkpoints []int, rng *rand.Rand) []SweepPoint {
+	n := g.NumNodes()
+	cps := slices.Clone(checkpoints)
+	slices.Sort(cps)
+	for _, c := range cps {
+		if c < 0 || c > n {
+			panic(fmt.Sprintf("graph: removal checkpoint %d out of range [0,%d]", c, n))
+		}
+	}
+
+	// Random removal order: order[i] is the i-th node to be removed.
+	order := rng.Perm(n)
+	removedAt := make([]int, n) // node -> position in removal order
+	for i, v := range order {
+		removedAt[v] = i
+	}
+
+	maxRemoved := 0
+	if len(cps) > 0 {
+		maxRemoved = cps[len(cps)-1]
+	}
+
+	// Start from the most-damaged state: only nodes removed at position
+	// >= maxRemoved are alive. Union alive-alive edges.
+	alive := make([]bool, n)
+	d := NewDSU(n)
+	aliveCount := 0
+	for v := 0; v < n; v++ {
+		if removedAt[v] >= maxRemoved {
+			alive[v] = true
+			aliveCount++
+		}
+	}
+	largest := int32(0)
+	if aliveCount > 0 {
+		largest = 1
+	}
+	for v := 0; v < n; v++ {
+		if !alive[v] {
+			continue
+		}
+		for _, u := range g.adj[v] {
+			if alive[u] && u > int32(v) {
+				d.Union(int32(v), u)
+				if s := d.SizeOf(u); s > largest {
+					largest = s
+				}
+			}
+		}
+	}
+
+	out := make([]SweepPoint, len(cps))
+	record := func(i int, removed int) {
+		comp := d.count - (n - aliveCount) // singleton sets of dead nodes do not count
+		out[i] = SweepPoint{
+			Removed:        removed,
+			Survivors:      aliveCount,
+			Components:     comp,
+			Largest:        int(largest),
+			OutsideLargest: aliveCount - int(largest),
+		}
+	}
+
+	// Walk checkpoints from most damage to least, resurrecting nodes in
+	// reverse removal order between checkpoints.
+	next := maxRemoved - 1 // next node position to resurrect
+	for i := len(cps) - 1; i >= 0; i-- {
+		for next >= cps[i] {
+			v := int32(order[next])
+			alive[v] = true
+			aliveCount++
+			if largest == 0 {
+				largest = 1
+			}
+			for _, u := range g.adj[v] {
+				if alive[u] {
+					d.Union(v, u)
+				}
+			}
+			if s := d.SizeOf(v); s > largest {
+				largest = s
+			}
+			next--
+		}
+		record(i, cps[i])
+	}
+	return out
+}

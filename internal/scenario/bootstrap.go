@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"math/rand/v2"
+
+	"peersampling/internal/core"
+	"peersampling/internal/graph"
+	"peersampling/internal/sim"
+)
+
+// BuildRandom returns a network of n nodes whose views are initialised
+// with c uniform random other nodes each (the paper's random initial
+// topology, Section 5.3).
+func BuildRandom(cfg sim.Config, n int) *sim.Network {
+	w := sim.MustNew(cfg)
+	for i := 0; i < n; i++ {
+		w.Add(nil)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xB007))
+	views := graph.RandomOutViews(n, cfg.ViewSize, rng)
+	buf := make([]core.Descriptor[sim.NodeID], cfg.ViewSize)
+	for id, view := range views {
+		for i, peer := range view {
+			buf[i] = core.Descriptor[sim.NodeID]{Addr: peer, Hop: 0}
+		}
+		w.Node(sim.NodeID(id)).Bootstrap(buf)
+	}
+	return w
+}
+
+// BuildLattice returns a network of n nodes arranged in the paper's ring
+// lattice (Section 5.2): each node's view holds the descriptors of its
+// nearest neighbours in the ring, alternating sides, until the view is
+// full.
+func BuildLattice(cfg sim.Config, n int) *sim.Network {
+	w := sim.MustNew(cfg)
+	for i := 0; i < n; i++ {
+		w.Add(nil)
+	}
+	for i := 0; i < n; i++ {
+		descs := make([]core.Descriptor[sim.NodeID], 0, cfg.ViewSize)
+		for d := 1; len(descs) < cfg.ViewSize; d++ {
+			right := sim.NodeID((i + d) % n)
+			descs = append(descs, core.Descriptor[sim.NodeID]{Addr: right, Hop: 0})
+			if len(descs) == cfg.ViewSize {
+				break
+			}
+			left := sim.NodeID(((i-d)%n + n) % n)
+			descs = append(descs, core.Descriptor[sim.NodeID]{Addr: left, Hop: 0})
+		}
+		w.Node(sim.NodeID(i)).Bootstrap(descs)
+	}
+	return w
+}
+
+// BuildGrowingSeed returns a network containing only the initial contact
+// node of the growing scenario (Section 5.1).
+func BuildGrowingSeed(cfg sim.Config) *sim.Network {
+	w := sim.MustNew(cfg)
+	w.Add(nil) // node 0, the oldest node; its view starts empty
+	return w
+}
+
+// GrowStep joins perCycle new nodes, each bootstrapped with a single
+// descriptor of the oldest node (node 0), stopping once the network holds
+// target nodes. It returns the number of nodes actually added. The paper
+// adds 100 nodes at the beginning of each cycle until cycle 100.
+func GrowStep(w *sim.Network, perCycle, target int) int {
+	added := 0
+	contact := []core.Descriptor[sim.NodeID]{{Addr: 0, Hop: 0}}
+	for added < perCycle && w.Size() < target {
+		w.Add(contact)
+		added++
+	}
+	return added
+}
+
+// RunGrowing executes the complete growing scenario: starting from the
+// single seed node, it adds nodes at the beginning of every cycle until
+// the target size is reached and keeps cycling until `cycles` cycles have
+// run. The optional observe hook is called after every cycle.
+func RunGrowing(cfg sim.Config, sc Scale, observe func(w *sim.Network, cycle int)) *sim.Network {
+	w := BuildGrowingSeed(cfg)
+	for cycle := 1; cycle <= sc.Cycles; cycle++ {
+		GrowStep(w, sc.GrowthPerCycle, sc.N)
+		w.RunCycle()
+		if observe != nil {
+			observe(w, cycle)
+		}
+	}
+	return w
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func countLines(s string) int {
+	return strings.Count(strings.TrimSuffix(s, "\n"), "\n") + 1
+}
+
+func TestFigureCSVs(t *testing.T) {
+	fig3 := RunFigure3(tiny, 31)
+	csv3 := fig3.CSV()
+	lattice, ok := csv3["figure3_lattice"]
+	if !ok {
+		t.Fatal("figure3_lattice missing")
+	}
+	if !strings.HasPrefix(lattice, "protocol,cycle,metric,value\n") {
+		t.Errorf("bad header: %q", lattice[:40])
+	}
+	// 8 protocols x 3 metrics x observations; at least a few hundred rows.
+	if countLines(lattice) < 8*3*5 {
+		t.Errorf("lattice CSV suspiciously short: %d lines", countLines(lattice))
+	}
+	if _, ok := csv3["figure3_random"]; !ok {
+		t.Error("figure3_random missing")
+	}
+
+	fig4 := RunFigure4(tiny, 32)
+	csv4 := fig4.CSV()["figure4_degree_distributions"]
+	if !strings.HasPrefix(csv4, "protocol,cycle,degree,count\n") {
+		t.Error("figure4 header wrong")
+	}
+	if !strings.Contains(csv4, "(rand,head,pushpull)") {
+		t.Error("figure4 CSV missing protocol rows")
+	}
+
+	fig5 := RunFigure5(tiny, 33)
+	csv5 := fig5.CSV()["figure5_autocorrelation"]
+	if countLines(csv5) != 4*(fig5.MaxLag+1)+1 {
+		t.Errorf("figure5 CSV has %d lines want %d", countLines(csv5), 4*(fig5.MaxLag+1)+1)
+	}
+
+	fig6 := RunFigure6(tiny, 34)
+	csv6 := fig6.CSV()["figure6_catastrophic_failure"]
+	if countLines(csv6) != 8*len(fig6.Percents)+1 {
+		t.Errorf("figure6 CSV has %d lines want %d", countLines(csv6), 8*len(fig6.Percents)+1)
+	}
+
+	fig7 := RunFigure7(tiny, 35)
+	csv7 := fig7.CSV()["figure7_self_healing"]
+	if countLines(csv7) != 8*(fig7.Horizon+1)+1 {
+		t.Errorf("figure7 CSV has %d lines want %d", countLines(csv7), 8*(fig7.Horizon+1)+1)
+	}
+
+	fig2 := RunFigure2(tiny, 36)
+	csv2 := fig2.CSV()["figure2_growing"]
+	if !strings.Contains(csv2, "pathlen") || !strings.Contains(csv2, "clustering") {
+		t.Error("figure2 CSV missing metrics")
+	}
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"peersampling/internal/core"
+	"peersampling/internal/sim"
+)
+
+// newRand returns a deterministic RNG for the given derived seed.
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x5A11AD))
+}
+
+// Result is a rendered experiment outcome. Every driver returns one.
+type Result interface {
+	// ID is the paper artefact this reproduces ("table1", "figure2", ...).
+	ID() string
+	// Render returns a human-readable text table shaped like the paper's.
+	Render() string
+}
+
+// Def names one registered experiment.
+type Def struct {
+	ID    string
+	Title string
+	Run   func(sc Scale, seed uint64) Result
+}
+
+// All returns the full experiment registry in paper order.
+func All() []Def {
+	return []Def{
+		{"table1", "Table 1: partitioning in the growing overlay scenario", func(sc Scale, seed uint64) Result { return RunTable1(sc, seed) }},
+		{"figure2", "Figure 2: dynamics of graph properties, growing scenario", func(sc Scale, seed uint64) Result { return RunFigure2(sc, seed) }},
+		{"figure3", "Figure 3: dynamics from lattice and random initialisation", func(sc Scale, seed uint64) Result { return RunFigure3(sc, seed) }},
+		{"figure4", "Figure 4: degree distributions from random initialisation", func(sc Scale, seed uint64) Result { return RunFigure4(sc, seed) }},
+		{"table2", "Table 2: dynamics of individual node degrees", func(sc Scale, seed uint64) Result { return RunTable2(sc, seed) }},
+		{"figure5", "Figure 5: autocorrelation of node degree over time", func(sc Scale, seed uint64) Result { return RunFigure5(sc, seed) }},
+		{"figure6", "Figure 6: connectivity after catastrophic node removal", func(sc Scale, seed uint64) Result { return RunFigure6(sc, seed) }},
+		{"figure7", "Figure 7: self-healing after 50% node failure", func(sc Scale, seed uint64) Result { return RunFigure7(sc, seed) }},
+		{"exclusion", "Section 4.3: why (head,*,*), (*,tail,*), (*,*,pull) are excluded", func(sc Scale, seed uint64) Result { return RunExclusion(sc, seed) }},
+		{"uniformity", "Sampling quality: getPeer() versus independent uniform sampling", func(sc Scale, seed uint64) Result { return RunUniformity(sc, seed) }},
+		{"churn", "Extension: steady-state behaviour under continuous churn", func(sc Scale, seed uint64) Result { return RunChurn(sc, seed) }},
+		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }},
+	}
+}
+
+// Find returns the experiment definition with the given ID.
+func Find(id string) (Def, bool) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Def{}, false
+}
+
+// table1Protocols are the four push protocols of the paper's Table 1 (the
+// ones for which partitioning was observed in the growing scenario).
+func table1Protocols() []core.Protocol {
+	return []core.Protocol{
+		{PeerSel: core.PeerRand, ViewSel: core.ViewHead, Prop: core.Push},
+		{PeerSel: core.PeerRand, ViewSel: core.ViewRand, Prop: core.Push},
+		{PeerSel: core.PeerTail, ViewSel: core.ViewHead, Prop: core.Push},
+		{PeerSel: core.PeerTail, ViewSel: core.ViewRand, Prop: core.Push},
+	}
+}
+
+// figure2Protocols are the six protocols plotted in Figure 2: the four
+// pushpull variants plus non-partitioned runs of the two (*,rand,push)
+// variants. (rand,head,push) and (tail,head,push) are omitted as unstable,
+// per the paper.
+func figure2Protocols() []core.Protocol {
+	return []core.Protocol{
+		{PeerSel: core.PeerRand, ViewSel: core.ViewRand, Prop: core.Push},
+		{PeerSel: core.PeerTail, ViewSel: core.ViewRand, Prop: core.Push},
+		{PeerSel: core.PeerRand, ViewSel: core.ViewRand, Prop: core.PushPull},
+		{PeerSel: core.PeerTail, ViewSel: core.ViewRand, Prop: core.PushPull},
+		{PeerSel: core.PeerRand, ViewSel: core.ViewHead, Prop: core.PushPull},
+		{PeerSel: core.PeerTail, ViewSel: core.ViewHead, Prop: core.PushPull},
+	}
+}
+
+// figure5Protocols are the four rand-peer-selection protocols plotted in
+// Figure 5 (the (tail,*,*) variants are omitted for clarity, as in the
+// paper).
+func figure5Protocols() []core.Protocol {
+	return []core.Protocol{
+		{PeerSel: core.PeerRand, ViewSel: core.ViewRand, Prop: core.Push},
+		{PeerSel: core.PeerRand, ViewSel: core.ViewRand, Prop: core.PushPull},
+		{PeerSel: core.PeerRand, ViewSel: core.ViewHead, Prop: core.Push},
+		{PeerSel: core.PeerRand, ViewSel: core.ViewHead, Prop: core.PushPull},
+	}
+}
+
+// metricsConfig derives the estimator settings from the scale.
+func metricsConfig(sc Scale, seed uint64) sim.MetricsConfig {
+	return sim.MetricsConfig{
+		PathSources:      sc.PathSources,
+		ClusteringSample: sc.ClusteringSample,
+		Seed:             seed,
+	}
+}
+
+// forEachPar runs fn(0..n-1) on up to GOMAXPROCS goroutines and waits for
+// all of them. Each index must write only its own result slot, which keeps
+// parallel experiment repetitions deterministic.
+func forEachPar(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// mix folds a small integer into a seed, giving unrelated deterministic
+// RNG streams for repetitions and protocol variants.
+func mix(seed uint64, k int) uint64 {
+	x := seed + 0x9E3779B97F4A7C15*uint64(k+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

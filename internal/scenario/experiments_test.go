@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"peersampling/internal/core"
+)
+
+func TestRunTable1Shape(t *testing.T) {
+	res := RunTable1(tiny, 1)
+	if res.ID() != "table1" {
+		t.Error("wrong ID")
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d want 4", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Runs != tiny.Reps {
+			t.Errorf("%v runs = %d want %d", r.Protocol, r.Runs, tiny.Reps)
+		}
+		if r.Protocol.Prop != core.Push {
+			t.Errorf("non-push protocol %v in Table 1", r.Protocol)
+		}
+		if r.PartitionedRuns > 0 && (r.AvgClusters < 2 || r.AvgLargest <= 0) {
+			t.Errorf("inconsistent partitioned stats: %+v", r)
+		}
+		if r.PartitionedRuns == 0 && (r.AvgClusters != 0 || r.AvgLargest != 0) {
+			t.Errorf("phantom cluster stats: %+v", r)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "(rand,head,push)") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestRunFigure2Shape(t *testing.T) {
+	res := RunFigure2(tiny, 2)
+	if res.ID() != "figure2" {
+		t.Error("wrong ID")
+	}
+	if len(res.Dynamics) != 6 || len(res.Connected) != 6 {
+		t.Fatalf("dynamics = %d want 6", len(res.Dynamics))
+	}
+	for i, d := range res.Dynamics {
+		if len(d.Observations) == 0 {
+			t.Fatalf("protocol %v has no observations", d.Protocol)
+		}
+		last := d.Observations[len(d.Observations)-1]
+		if last.LiveNodes != tiny.N {
+			t.Errorf("%v final population = %d want %d", d.Protocol, last.LiveNodes, tiny.N)
+		}
+		// Pushpull runs are connected on the first attempt per the paper;
+		// at minimum the flag must be consistent with observations.
+		if d.Protocol.Prop == core.PushPull && !res.Connected[i] {
+			t.Errorf("pushpull run %v not connected", d.Protocol)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 2", "clustering", "avgdegree", "pathlen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunFigure3Shape(t *testing.T) {
+	res := RunFigure3(tiny, 3)
+	if res.ID() != "figure3" {
+		t.Error("wrong ID")
+	}
+	if len(res.Lattice) != 8 || len(res.Random) != 8 {
+		t.Fatalf("got %d lattice, %d random traces", len(res.Lattice), len(res.Random))
+	}
+	// Convergence from wildly different starts: the converged clustering
+	// coefficient of each protocol must be close under both
+	// initialisations (the paper's self-organisation result).
+	for i := range res.Lattice {
+		lat := res.Lattice[i].SeriesOf("clustering").ConvergedValue(0.3)
+		rnd := res.Random[i].SeriesOf("clustering").ConvergedValue(0.3)
+		diff := lat - rnd
+		if diff < 0 {
+			diff = -diff
+		}
+		avg := (lat + rnd) / 2
+		if avg > 0 && diff/avg > 0.6 {
+			t.Errorf("%v converged clustering differs: lattice %v vs random %v",
+				res.Lattice[i].Protocol, lat, rnd)
+		}
+	}
+	// The lattice starts with a path length far above converged; it must
+	// have dropped dramatically by the end (rapid convergence, Fig 3a).
+	for _, d := range res.Lattice {
+		s := d.SeriesOf("pathlen")
+		if s.Values[0] <= s.Values[s.Len()-1] {
+			t.Errorf("%v lattice path length did not shrink: %v -> %v",
+				d.Protocol, s.Values[0], s.Values[s.Len()-1])
+		}
+	}
+	if !strings.Contains(res.Render(), "lattice initialisation") {
+		t.Error("render missing lattice section")
+	}
+}
+
+func TestRunFigure4Shape(t *testing.T) {
+	res := RunFigure4(tiny, 4)
+	if res.ID() != "figure4" {
+		t.Error("wrong ID")
+	}
+	if len(res.Snapshots) != 8 {
+		t.Fatalf("snapshots for %d protocols want 8", len(res.Snapshots))
+	}
+	if res.Cycles[0] != 0 || res.Cycles[len(res.Cycles)-1] != tiny.Cycles {
+		t.Errorf("snapshot cycles = %v", res.Cycles)
+	}
+	for i, proto := range res.Protocols {
+		for _, snap := range res.Snapshots[i] {
+			if snap.Table.Total() != tiny.N {
+				t.Errorf("%v cycle %d tallied %d nodes want %d", proto, snap.Cycle, snap.Table.Total(), tiny.N)
+			}
+		}
+	}
+	// Shape: random view selection yields a heavier degree tail than head
+	// view selection at the final cycle. Compare (rand,rand,pushpull)
+	// vs (rand,head,pushpull) max degree.
+	maxOf := func(p core.Protocol) int {
+		for i, proto := range res.Protocols {
+			if proto == p {
+				tbl := res.Snapshots[i][len(res.Snapshots[i])-1].Table
+				return tbl.Values[len(tbl.Values)-1]
+			}
+		}
+		t.Fatalf("protocol %v missing", p)
+		return 0
+	}
+	randMax := maxOf(core.Protocol{PeerSel: core.PeerRand, ViewSel: core.ViewRand, Prop: core.PushPull})
+	headMax := maxOf(core.Newscast)
+	if randMax <= headMax {
+		t.Errorf("rand view selection max degree %d not above head %d", randMax, headMax)
+	}
+	if !strings.Contains(res.Render(), "tail>2c") {
+		t.Error("render missing tail column")
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	res := RunTable2(tiny, 5)
+	if res.ID() != "table2" {
+		t.Error("wrong ID")
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d want 8", len(res.Rows))
+	}
+	var randStd, headStd float64
+	randN, headN := 0, 0
+	for _, r := range res.Rows {
+		// All nodes oscillate around the average: the mean of time-means
+		// must be within a few degrees of the final overlay average.
+		diff := r.DK - r.MeanOfMeans
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > r.DK/2 {
+			t.Errorf("%v: D_K %v far from dbar %v", r.Protocol, r.DK, r.MeanOfMeans)
+		}
+		switch r.Protocol.ViewSel {
+		case core.ViewRand:
+			randStd += r.StdOfMeans
+			randN++
+		case core.ViewHead:
+			headStd += r.StdOfMeans
+			headN++
+		}
+	}
+	// The paper's key Table 2 observation: random view selection yields
+	// much larger variance of per-node mean degree than head.
+	if randStd/float64(randN) <= headStd/float64(headN) {
+		t.Errorf("rand view selection std %v not above head %v", randStd/float64(randN), headStd/float64(headN))
+	}
+	if !strings.Contains(res.Render(), "sqrt(sigma)") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunFigure5Shape(t *testing.T) {
+	res := RunFigure5(tiny, 6)
+	if res.ID() != "figure5" {
+		t.Error("wrong ID")
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("results = %d want 4", len(res.Results))
+	}
+	if res.Band <= 0 || res.MaxLag <= 0 {
+		t.Errorf("band %v maxlag %d", res.Band, res.MaxLag)
+	}
+	for _, r := range res.Results {
+		if len(r.Lags) != res.MaxLag+1 {
+			t.Fatalf("%v lag count = %d want %d", r.Protocol, len(r.Lags), res.MaxLag+1)
+		}
+		if r.Lags[0] < 0.999 {
+			t.Errorf("%v r0 = %v want 1", r.Protocol, r.Lags[0])
+		}
+		if r.OutsideBand < 0 || r.OutsideBand > 1 {
+			t.Errorf("%v outside-band fraction = %v", r.Protocol, r.OutsideBand)
+		}
+	}
+	// Shape: (rand,rand,*) series are much more autocorrelated at small
+	// lags than (rand,head,*) ones.
+	get := func(vs core.ViewSelection, prop core.Propagation) AutocorrResult {
+		for _, r := range res.Results {
+			if r.Protocol.ViewSel == vs && r.Protocol.Prop == prop {
+				return r
+			}
+		}
+		t.Fatal("protocol missing")
+		return AutocorrResult{}
+	}
+	if get(core.ViewRand, core.PushPull).Lags[1] <= get(core.ViewHead, core.PushPull).Lags[1] {
+		t.Errorf("lag-1 autocorrelation: rand %v not above head %v",
+			get(core.ViewRand, core.PushPull).Lags[1], get(core.ViewHead, core.PushPull).Lags[1])
+	}
+	if !strings.Contains(res.Render(), "99% band") {
+		t.Error("render missing band")
+	}
+}
+
+func TestRunFigure6Shape(t *testing.T) {
+	res := RunFigure6(tiny, 7)
+	if res.ID() != "figure6" {
+		t.Error("wrong ID")
+	}
+	if len(res.Protocols) != 8 {
+		t.Fatalf("protocols = %d want 8", len(res.Protocols))
+	}
+	for _, pr := range res.Protocols {
+		if len(pr.Points) != len(res.Percents) {
+			t.Fatalf("%v has %d points want %d", pr.Protocol, len(pr.Points), len(res.Percents))
+		}
+		for _, pt := range pr.Points {
+			if pt.AvgOutsideLargest < 0 {
+				t.Errorf("negative damage %v", pt)
+			}
+		}
+		// Consistent partitioning behaviour: at the low end of the sweep
+		// (65% removed) a giant cluster holds almost all survivors (the
+		// paper's core observation; at the extreme 95% end of a tiny
+		// network the survivors are too few for the giant component to
+		// dominate, so we assert at the first checkpoint).
+		first := pr.Points[0]
+		survivors := float64(tiny.N) * float64(100-first.RemovedPercent) / 100
+		if first.AvgOutsideLargest > survivors/4 {
+			t.Errorf("%v: too many nodes outside largest cluster at %d%%: %v of %v",
+				pr.Protocol, first.RemovedPercent, first.AvgOutsideLargest, survivors)
+		}
+	}
+	if !strings.Contains(res.Render(), "65%") {
+		t.Error("render missing sweep start")
+	}
+}
+
+func TestRunFigure7Shape(t *testing.T) {
+	res := RunFigure7(tiny, 8)
+	if res.ID() != "figure7" {
+		t.Error("wrong ID")
+	}
+	if len(res.Protocols) != 8 {
+		t.Fatalf("protocols = %d want 8", len(res.Protocols))
+	}
+	byProto := map[core.Protocol]Figure7Protocol{}
+	for _, pr := range res.Protocols {
+		byProto[pr.Protocol] = pr
+		if len(pr.DeadLinks) != res.Horizon+1 {
+			t.Fatalf("%v trace len = %d want %d", pr.Protocol, len(pr.DeadLinks), res.Horizon+1)
+		}
+		if pr.DeadLinks[0] == 0 {
+			t.Errorf("%v has no dead links right after 50%% failure", pr.Protocol)
+		}
+		s := pr.DeadLinkSeries()
+		if s.Len() != len(pr.DeadLinks) {
+			t.Error("series length mismatch")
+		}
+	}
+	// Shape: head view selection heals exponentially fast — it must be
+	// fully clean well within the horizon; random view selection must
+	// still carry dead links at the end (linear at best).
+	headHeal := byProto[core.Newscast]
+	if headHeal.CyclesToClean < 0 {
+		t.Errorf("(rand,head,pushpull) never cleaned up within %d cycles", res.Horizon)
+	}
+	randHeal := byProto[core.Protocol{PeerSel: core.PeerRand, ViewSel: core.ViewRand, Prop: core.PushPull}]
+	if last := randHeal.DeadLinks[len(randHeal.DeadLinks)-1]; last == 0 {
+		t.Logf("note: (rand,rand,pushpull) cleaned all dead links at this scale")
+	}
+	if headHeal.CyclesToClean >= 0 && randHeal.CyclesToClean >= 0 &&
+		headHeal.CyclesToClean > randHeal.CyclesToClean {
+		t.Errorf("head healing (%d cycles) slower than rand (%d cycles)",
+			headHeal.CyclesToClean, randHeal.CyclesToClean)
+	}
+	if !strings.Contains(res.Render(), "half-life") {
+		t.Error("render missing half-life column")
+	}
+}
+
+func TestRunExclusionShape(t *testing.T) {
+	res := RunExclusion(tiny, 9)
+	if res.ID() != "exclusion" {
+		t.Error("wrong ID")
+	}
+	if res.HeadPeerChurn >= res.RandPeerChurn/2 {
+		t.Errorf("(head,*,*) view churn %v not well below rand control %v",
+			res.HeadPeerChurn, res.RandPeerChurn)
+	}
+	if res.TailInvisibleFraction <= res.HeadInvisibleFraction {
+		t.Errorf("(*,tail,*) invisible fraction %v not above head control %v",
+			res.TailInvisibleFraction, res.HeadInvisibleFraction)
+	}
+	if res.PullMaxDegreeFraction <= res.PushPullMaxDegreeFraction {
+		t.Errorf("(*,*,pull) max degree fraction %v not above pushpull control %v",
+			res.PullMaxDegreeFraction, res.PushPullMaxDegreeFraction)
+	}
+	out := res.Render()
+	if strings.Contains(out, "NOT confirmed") {
+		t.Errorf("exclusion study failed to confirm a claim:\n%s", out)
+	}
+}
+
+func TestDynamicsSeriesOfUnknownMetricPanics(t *testing.T) {
+	d := Dynamics{Protocol: core.Newscast} // no observations needed: metric is validated first
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown metric did not panic")
+		}
+	}()
+	d.SeriesOf("bogus")
+}

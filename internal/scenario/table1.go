@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"fmt"
+
+	"peersampling/internal/core"
+	"peersampling/internal/sim"
+)
+
+// Table1Row summarises the partitioning behaviour of one protocol in the
+// growing overlay scenario, mirroring one row of the paper's Table 1.
+// Cluster statistics are averaged over the partitioned runs only, matching
+// the paper (its (tail,rand,push) row reports exactly 2.00 clusters from a
+// single partitioned run out of 100).
+type Table1Row struct {
+	Protocol        core.Protocol
+	Runs            int
+	PartitionedRuns int
+	AvgClusters     float64 // over partitioned runs
+	AvgLargest      float64 // over partitioned runs
+}
+
+// PartitionedPercent returns the share of partitioned runs in percent.
+func (r Table1Row) PartitionedPercent() float64 {
+	return 100 * float64(r.PartitionedRuns) / float64(r.Runs)
+}
+
+// Table1Result is the reproduction of the paper's Table 1.
+type Table1Result struct {
+	Scale Scale
+	Rows  []Table1Row
+}
+
+// ID implements Result.
+func (*Table1Result) ID() string { return "table1" }
+
+// Render implements Result.
+func (t *Table1Result) Render() string {
+	tb := newTable("protocol", "partitioned runs", "avg clusters", "avg largest cluster")
+	for _, r := range t.Rows {
+		avgC, avgL := "-", "-"
+		if r.PartitionedRuns > 0 {
+			avgC, avgL = f2(r.AvgClusters), f2(r.AvgLargest)
+		}
+		tb.addRow(r.Protocol.String(),
+			fmt.Sprintf("%.0f%% (%d/%d)", r.PartitionedPercent(), r.PartitionedRuns, r.Runs),
+			avgC, avgL)
+	}
+	return fmt.Sprintf("Table 1 (growing scenario, N=%d, c=%d, cycle %d, %d runs)\n%s",
+		t.Scale.N, t.Scale.ViewSize, t.Scale.Cycles, t.Scale.Reps, tb.String())
+}
+
+// RunTable1 reproduces Table 1: for each push protocol, run the growing
+// scenario Reps times and report how often the overlay is partitioned at
+// the final cycle, with cluster statistics over the partitioned runs.
+func RunTable1(sc Scale, seed uint64) *Table1Result {
+	if err := sc.validate(); err != nil {
+		panic(err)
+	}
+	protos := table1Protocols()
+	res := &Table1Result{Scale: sc, Rows: make([]Table1Row, len(protos))}
+
+	type runOutcome struct {
+		partitioned bool
+		clusters    int
+		largest     int
+	}
+	for pi, proto := range protos {
+		outcomes := make([]runOutcome, sc.Reps)
+		forEachPar(sc.Reps, func(rep int) {
+			cfg := sim.Config{Protocol: proto, ViewSize: sc.ViewSize, Seed: mix(seed, pi*10_000+rep)}
+			w := RunGrowing(cfg, sc, nil)
+			comp := w.TakeSnapshot().Graph.Components()
+			outcomes[rep] = runOutcome{
+				partitioned: !comp.Connected(),
+				clusters:    comp.Count,
+				largest:     comp.Largest,
+			}
+		})
+		row := Table1Row{Protocol: proto, Runs: sc.Reps}
+		var sumClusters, sumLargest float64
+		for _, o := range outcomes {
+			if o.partitioned {
+				row.PartitionedRuns++
+				sumClusters += float64(o.clusters)
+				sumLargest += float64(o.largest)
+			}
+		}
+		if row.PartitionedRuns > 0 {
+			row.AvgClusters = sumClusters / float64(row.PartitionedRuns)
+			row.AvgLargest = sumLargest / float64(row.PartitionedRuns)
+		}
+		res.Rows[pi] = row
+	}
+	return res
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"peersampling/internal/graph"
+)
+
+// Snapshot is the undirected communication graph over the live nodes of a
+// network at one instant, together with the mapping between original node
+// IDs and the compacted graph indices.
+type Snapshot struct {
+	// Graph is the undirected communication topology of live nodes;
+	// descriptors pointing at dead nodes are excluded.
+	Graph *graph.Graph
+	// IDs maps compact graph index -> original node ID.
+	IDs []NodeID
+	// index maps original node ID -> compact graph index, -1 if dead.
+	index []int32
+}
+
+// TakeSnapshot captures the current communication topology of the live
+// nodes, dropping dead links (Section 4.2's undirected conversion).
+func (w *Network) TakeSnapshot() *Snapshot {
+	s := &Snapshot{
+		IDs:   make([]NodeID, 0, w.live),
+		index: make([]int32, len(w.nodes)),
+	}
+	for i := range s.index {
+		s.index[i] = -1
+	}
+	for id, ok := range w.alive {
+		if ok {
+			s.index[id] = int32(len(s.IDs))
+			s.IDs = append(s.IDs, NodeID(id))
+		}
+	}
+	out := make([][]int32, len(s.IDs))
+	for compact, id := range s.IDs {
+		v := w.nodes[id].View()
+		targets := make([]int32, 0, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			t := s.index[v.At(i).Addr]
+			if t >= 0 {
+				targets = append(targets, t)
+			}
+		}
+		out[compact] = targets
+	}
+	s.Graph = graph.FromAdjacency(out)
+	return s
+}
+
+// DegreeOf returns the undirected degree of the node with the given
+// original ID, and whether the node is live (dead nodes have no degree).
+func (s *Snapshot) DegreeOf(id NodeID) (int, bool) {
+	if int(id) >= len(s.index) || s.index[id] < 0 {
+		return 0, false
+	}
+	return s.Graph.Degree(s.index[id]), true
+}

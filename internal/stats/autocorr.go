@@ -1,0 +1,51 @@
+package stats
+
+import "math"
+
+// Autocorrelation computes the sample autocorrelation of the series for
+// lags 0..maxLag using the paper's estimator:
+//
+//	r_k = sum_{j=1}^{K-k} (d_j - mean)(d_{j+k} - mean) /
+//	      sum_{j=1}^{K}   (d_j - mean)^2
+//
+// r_0 is 1 by construction. For a constant series (zero variance) all
+// correlations are reported as 0, including r_0, since the measure is
+// undefined there. Lags beyond the series length yield 0.
+func Autocorrelation(series []float64, maxLag int) []float64 {
+	out := make([]float64, maxLag+1)
+	k := len(series)
+	if k == 0 {
+		return out
+	}
+	mean := Mean(series)
+	denom := 0.0
+	for _, x := range series {
+		d := x - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return out
+	}
+	for lag := 0; lag <= maxLag && lag < k; lag++ {
+		num := 0.0
+		for j := 0; j+lag < k; j++ {
+			num += (series[j] - mean) * (series[j+lag] - mean)
+		}
+		out[lag] = num / denom
+	}
+	return out
+}
+
+// ConfidenceBand returns the half-width of the approximate confidence
+// interval around zero for the autocorrelation of an i.i.d. series of
+// length k: z/sqrt(k). Use z=2.576 for the paper's 99% band.
+func ConfidenceBand(k int, z float64) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return z / math.Sqrt(float64(k))
+}
+
+// Z99 is the standard normal quantile for a two-sided 99% confidence
+// interval.
+const Z99 = 2.576

@@ -1,0 +1,84 @@
+package stats
+
+import "math"
+
+// ChiSquareUniform returns Pearson's chi-square statistic of the observed
+// counts against the uniform distribution over the same support,
+// normalised by the degrees of freedom (len(counts)-1). A value near 1 is
+// consistent with uniform sampling; values far above 1 indicate
+// systematic bias. It returns 0 for fewer than two cells or no
+// observations.
+func ChiSquareUniform(counts []int) float64 {
+	if len(counts) < 2 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	expected := float64(total) / float64(len(counts))
+	x2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		x2 += d * d / expected
+	}
+	return x2 / float64(len(counts)-1)
+}
+
+// TotalVariationUniform returns the total variation distance between the
+// empirical distribution of counts and the uniform distribution over the
+// same support: 0 means identical, 1 means disjoint. It returns 0 for an
+// empty or all-zero input.
+func TotalVariationUniform(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	uniform := 1 / float64(len(counts))
+	tv := 0.0
+	for _, c := range counts {
+		tv += math.Abs(float64(c)/float64(total) - uniform)
+	}
+	return tv / 2
+}
+
+// Entropy returns the Shannon entropy (in bits) of the empirical
+// distribution of counts; the maximum log2(len(counts)) is attained by
+// the uniform distribution.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// NormalizedEntropy returns Entropy divided by its maximum log2(n); 1
+// means perfectly uniform. It returns 0 for degenerate inputs.
+func NormalizedEntropy(counts []int) float64 {
+	if len(counts) < 2 {
+		return 0
+	}
+	max := math.Log2(float64(len(counts)))
+	return Entropy(counts) / max
+}

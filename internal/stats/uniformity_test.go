@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfectly uniform counts: statistic exactly 0.
+	if got := ChiSquareUniform([]int{10, 10, 10, 10}); got != 0 {
+		t.Errorf("uniform counts chi2 = %v want 0", got)
+	}
+	// Sampling from a true uniform distribution: normalised statistic
+	// concentrates near 1.
+	rng := rand.New(rand.NewPCG(1, 1))
+	counts := make([]int, 200)
+	for i := 0; i < 200*500; i++ {
+		counts[rng.IntN(200)]++
+	}
+	if got := ChiSquareUniform(counts); got < 0.6 || got > 1.6 {
+		t.Errorf("uniform sampling chi2/df = %v want ~1", got)
+	}
+	// A heavily biased distribution scores far above 1.
+	biased := make([]int, 200)
+	for i := 0; i < 200*500; i++ {
+		if rng.Float64() < 0.5 {
+			biased[rng.IntN(10)]++ // half the mass on 5% of the cells
+		} else {
+			biased[rng.IntN(200)]++
+		}
+	}
+	if got := ChiSquareUniform(biased); got < 10 {
+		t.Errorf("biased sampling chi2/df = %v want >> 1", got)
+	}
+	// Degenerate inputs.
+	if ChiSquareUniform(nil) != 0 || ChiSquareUniform([]int{5}) != 0 || ChiSquareUniform([]int{0, 0}) != 0 {
+		t.Error("degenerate inputs must score 0")
+	}
+}
+
+func TestTotalVariationUniform(t *testing.T) {
+	if got := TotalVariationUniform([]int{5, 5, 5, 5}); got != 0 {
+		t.Errorf("uniform TV = %v want 0", got)
+	}
+	// All mass on one of n cells: TV = 1 - 1/n.
+	if got, want := TotalVariationUniform([]int{12, 0, 0, 0}), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("point-mass TV = %v want %v", got, want)
+	}
+	if TotalVariationUniform(nil) != 0 || TotalVariationUniform([]int{0, 0}) != 0 {
+		t.Error("degenerate inputs must score 0")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]int{8, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("fair coin entropy = %v want 1", got)
+	}
+	if got := Entropy([]int{16, 0}); got != 0 {
+		t.Errorf("point mass entropy = %v want 0", got)
+	}
+	if got := NormalizedEntropy([]int{4, 4, 4, 4}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform normalised entropy = %v want 1", got)
+	}
+	if NormalizedEntropy([]int{7}) != 0 || NormalizedEntropy(nil) != 0 {
+		t.Error("degenerate normalised entropy must be 0")
+	}
+	if Entropy(nil) != 0 {
+		t.Error("empty entropy must be 0")
+	}
+}

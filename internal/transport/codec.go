@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"peersampling/internal/core"
+)
+
+// Wire format (all integers big-endian):
+//
+//	byte    magic (0x9D)
+//	byte    kind (1 = request, 2 = response)
+//	byte    flags (bit 0: WantReply, requests only)
+//	u16     from-address length, followed by the bytes
+//	u16     descriptor count
+//	repeat: u16 address length, address bytes, i32 hop count
+//
+// The format is deliberately version-tagged by the magic byte so that a
+// future revision can change it without silently misparsing old peers.
+const (
+	codecMagic   = 0x9D
+	kindRequest  = 1
+	kindResponse = 2
+
+	// MaxAddrLen bounds a single address; MaxDescriptors bounds a view
+	// buffer. Both protect servers from hostile or corrupt frames.
+	MaxAddrLen     = 512
+	MaxDescriptors = 4096
+)
+
+// EncodeRequest serialises a request.
+func EncodeRequest(req Request) ([]byte, error) {
+	flags := byte(0)
+	if req.WantReply {
+		flags = 1
+	}
+	return encodeMessage(kindRequest, flags, req.From, req.Buffer)
+}
+
+// EncodeResponse serialises a response.
+func EncodeResponse(resp Response) ([]byte, error) {
+	return encodeMessage(kindResponse, 0, resp.From, resp.Buffer)
+}
+
+func encodeMessage(kind, flags byte, from string, buffer []core.Descriptor[string]) ([]byte, error) {
+	if len(from) > MaxAddrLen {
+		return nil, fmt.Errorf("transport: from address %d bytes exceeds limit %d", len(from), MaxAddrLen)
+	}
+	if len(buffer) > MaxDescriptors {
+		return nil, fmt.Errorf("transport: %d descriptors exceed limit %d", len(buffer), MaxDescriptors)
+	}
+	size := 3 + 2 + len(from) + 2
+	for _, d := range buffer {
+		if len(d.Addr) > MaxAddrLen {
+			return nil, fmt.Errorf("transport: descriptor address %d bytes exceeds limit %d", len(d.Addr), MaxAddrLen)
+		}
+		size += 2 + len(d.Addr) + 4
+	}
+	out := make([]byte, 0, size)
+	out = append(out, codecMagic, kind, flags)
+	out = appendString(out, from)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(buffer)))
+	for _, d := range buffer {
+		out = appendString(out, d.Addr)
+		out = binary.BigEndian.AppendUint32(out, uint32(d.Hop))
+	}
+	return out, nil
+}
+
+func appendString(out []byte, s string) []byte {
+	out = binary.BigEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+// DecodeMessage parses a frame produced by EncodeRequest or
+// EncodeResponse. Exactly one of req/resp is meaningful, selected by
+// isRequest.
+func DecodeMessage(frame []byte) (req Request, resp Response, isRequest bool, err error) {
+	r := reader{buf: frame}
+	magic, err := r.byte()
+	if err != nil {
+		return req, resp, false, err
+	}
+	if magic != codecMagic {
+		return req, resp, false, fmt.Errorf("transport: bad magic 0x%02X", magic)
+	}
+	kind, err := r.byte()
+	if err != nil {
+		return req, resp, false, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return req, resp, false, err
+	}
+	from, err := r.str()
+	if err != nil {
+		return req, resp, false, err
+	}
+	count, err := r.u16()
+	if err != nil {
+		return req, resp, false, err
+	}
+	if count > MaxDescriptors {
+		return req, resp, false, fmt.Errorf("transport: descriptor count %d exceeds limit", count)
+	}
+	buffer := make([]core.Descriptor[string], 0, count)
+	for i := 0; i < int(count); i++ {
+		addr, err := r.str()
+		if err != nil {
+			return req, resp, false, err
+		}
+		hop, err := r.u32()
+		if err != nil {
+			return req, resp, false, err
+		}
+		buffer = append(buffer, core.Descriptor[string]{Addr: addr, Hop: int32(hop)})
+	}
+	if r.rem() != 0 {
+		return req, resp, false, fmt.Errorf("transport: %d trailing bytes", r.rem())
+	}
+	switch kind {
+	case kindRequest:
+		return Request{From: from, Buffer: buffer, WantReply: flags&1 != 0}, resp, true, nil
+	case kindResponse:
+		return req, Response{From: from, Buffer: buffer}, false, nil
+	default:
+		return req, resp, false, fmt.Errorf("transport: unknown message kind %d", kind)
+	}
+}
+
+// reader is a bounds-checked cursor over a frame.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) rem() int { return len(r.buf) - r.pos }
+
+func (r *reader) byte() (byte, error) {
+	if r.rem() < 1 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.rem() < 2 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.rem() < 4 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > MaxAddrLen {
+		return "", fmt.Errorf("transport: string length %d exceeds limit %d", n, MaxAddrLen)
+	}
+	if r.rem() < int(n) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}

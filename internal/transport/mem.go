@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Fabric is an in-memory network connecting any number of endpoints in one
+// process. It supports deterministic message loss, artificial latency and
+// named partitions, which makes it the failure-injection substrate for
+// runtime tests and single-process demos.
+type Fabric struct {
+	mu        sync.RWMutex
+	endpoints map[string]*memEndpoint
+	latency   time.Duration
+	lossRate  float64
+	rng       *rand.Rand
+	// partition maps an address to its partition ID; endpoints in
+	// different partitions cannot exchange messages. The zero ID is the
+	// default shared partition.
+	partition map[string]int
+}
+
+// FabricOption configures a Fabric.
+type FabricOption func(*Fabric)
+
+// WithLatency makes every exchange sleep for d before delivery.
+func WithLatency(d time.Duration) FabricOption {
+	return func(f *Fabric) { f.latency = d }
+}
+
+// WithLoss drops each exchange with probability p (deterministically from
+// the fabric's seed).
+func WithLoss(p float64, seed uint64) FabricOption {
+	return func(f *Fabric) {
+		f.lossRate = p
+		f.rng = rand.New(rand.NewPCG(seed, 0xFAB))
+	}
+}
+
+// NewFabric returns an empty in-memory network.
+func NewFabric(opts ...FabricOption) *Fabric {
+	f := &Fabric{
+		endpoints: make(map[string]*memEndpoint),
+		partition: make(map[string]int),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Endpoint registers a new address served by h and returns its transport.
+// Registering an address twice is an error.
+func (f *Fabric) Endpoint(addr string, h Handler) (Transport, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for %q", addr)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.endpoints[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q already registered", addr)
+	}
+	ep := &memEndpoint{fabric: f, addr: addr, handler: h}
+	f.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Factory returns a Factory that allocates sequentially numbered endpoint
+// addresses with the given prefix ("prefix-0", "prefix-1", ...).
+func (f *Fabric) Factory(prefix string) Factory {
+	var next int
+	var mu sync.Mutex
+	return func(h Handler) (Transport, error) {
+		mu.Lock()
+		addr := fmt.Sprintf("%s-%d", prefix, next)
+		next++
+		mu.Unlock()
+		return f.Endpoint(addr, h)
+	}
+}
+
+// SetPartition assigns addr to a partition; endpoints in different
+// partitions are mutually unreachable until reassigned. Partition 0 is the
+// default shared network.
+func (f *Fabric) SetPartition(addr string, id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partition[addr] = id
+}
+
+// HealPartitions returns every endpoint to the shared partition.
+func (f *Fabric) HealPartitions() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	clear(f.partition)
+}
+
+// Remove unregisters an address (simulating a crashed node whose peers
+// still hold its descriptor).
+func (f *Fabric) Remove(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.endpoints, addr)
+}
+
+// lookup resolves a destination endpoint for a sender, applying partition
+// and loss models. It returns nil with a reason error when undeliverable.
+func (f *Fabric) lookup(from, to string) (*memEndpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dst, ok := f.endpoints[to]
+	if !ok || dst.isClosed() {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	if f.partition[from] != f.partition[to] {
+		return nil, fmt.Errorf("%w: %s is partitioned away", ErrUnreachable, to)
+	}
+	if f.lossRate > 0 && f.rng.Float64() < f.lossRate {
+		return nil, ErrDropped
+	}
+	return dst, nil
+}
+
+// memEndpoint implements Transport over a Fabric.
+type memEndpoint struct {
+	fabric  *Fabric
+	addr    string
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*memEndpoint)(nil)
+
+// Addr implements Transport.
+func (e *memEndpoint) Addr() string { return e.addr }
+
+func (e *memEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Exchange implements Transport.
+func (e *memEndpoint) Exchange(ctx context.Context, addr string, req Request) (Response, bool, error) {
+	if e.isClosed() {
+		return Response{}, false, ErrClosed
+	}
+	dst, err := e.fabric.lookup(e.addr, addr)
+	if err != nil {
+		return Response{}, false, err
+	}
+	if d := e.fabric.latency; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return Response{}, false, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{}, false, err
+	}
+	// Deliver a deep copy: in-process peers must not share buffer memory,
+	// exactly as a real network would not.
+	resp, ok := dst.handler(cloneRequest(req))
+	if !ok {
+		return Response{}, false, nil
+	}
+	return cloneResponse(resp), true, nil
+}
+
+// Close implements Transport.
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.fabric.Remove(e.addr)
+	return nil
+}
+
+func cloneRequest(req Request) Request {
+	out := req
+	out.Buffer = append([]Descriptor(nil), req.Buffer...)
+	return out
+}
+
+func cloneResponse(resp Response) Response {
+	out := resp
+	out.Buffer = append([]Descriptor(nil), resp.Buffer...)
+	return out
+}

@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpDefaultTimeout bounds a whole exchange (dial + write + read) when the
+// caller's context has no earlier deadline.
+const tcpDefaultTimeout = 5 * time.Second
+
+// maxFrameSize bounds a single length-prefixed frame on the wire; a full
+// view of MaxDescriptors maximal descriptors fits comfortably.
+const maxFrameSize = 1 << 22
+
+// TCP is a Transport over real TCP connections. Every exchange uses a
+// fresh short-lived connection carrying one length-prefixed request frame
+// and, for pull-enabled exchanges, one response frame. Gossip exchanges
+// are tiny and infrequent (one per node per period), so connection reuse
+// is deliberately not attempted.
+type TCP struct {
+	listener net.Listener
+	handler  Handler
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// ListenTCP starts serving on addr (e.g. "127.0.0.1:0") with h handling
+// incoming exchanges.
+func ListenTCP(addr string, h Handler) (*TCP, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{listener: l, handler: h}
+	t.wg.Add(1)
+	go t.serve()
+	return t, nil
+}
+
+// Addr implements Transport; it returns the bound address, with the
+// ephemeral port resolved.
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+func (t *TCP) serve() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handleConn(conn)
+		}()
+	}
+}
+
+func (t *TCP) handleConn(conn net.Conn) {
+	defer conn.Close()
+	// A peer must complete its exchange promptly; this also bounds the
+	// damage of a stalled or hostile connection.
+	_ = conn.SetDeadline(time.Now().Add(tcpDefaultTimeout))
+	frame, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	req, _, isReq, err := DecodeMessage(frame)
+	if err != nil || !isReq {
+		return
+	}
+	resp, ok := t.handler(req)
+	if !ok {
+		return
+	}
+	out, err := EncodeResponse(resp)
+	if err != nil {
+		return
+	}
+	_ = writeFrame(conn, out)
+}
+
+// Exchange implements Transport.
+func (t *TCP) Exchange(ctx context.Context, addr string, req Request) (Response, bool, error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return Response{}, false, ErrClosed
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		deadline = time.Now().Add(tcpDefaultTimeout)
+	}
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline)
+
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, false, err
+	}
+	if err := writeFrame(conn, frame); err != nil {
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	if !req.WantReply {
+		return Response{}, false, nil
+	}
+	respFrame, err := readFrame(conn)
+	if err != nil {
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	_, resp, isReq, err := DecodeMessage(respFrame)
+	if err != nil {
+		return Response{}, false, err
+	}
+	if isReq {
+		return Response{}, false, errors.New("transport: peer answered with a request frame")
+	}
+	return resp, true, nil
+}
+
+// Close implements Transport. It stops the listener and waits for in-
+// flight connection handlers to finish.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}
+
+// writeFrame writes a u32 length prefix followed by the payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting oversized payloads.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

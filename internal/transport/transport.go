@@ -1,0 +1,60 @@
+// Package transport provides the message-passing substrate for the
+// asynchronous peer sampling runtime: an abstract Transport interface, an
+// in-memory fabric with configurable latency, loss and partitions (for
+// tests and single-process simulations), and a TCP transport with a
+// compact binary codec (for real deployments).
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"peersampling/internal/core"
+)
+
+// Request is a gossip exchange request between runtime nodes, addressed by
+// opaque string addresses ("host:port" for TCP, arbitrary names in
+// memory).
+type Request = core.Request[string]
+
+// Response is the reply to a pull or pushpull Request.
+type Response = core.Response[string]
+
+// Descriptor is the string-addressed view descriptor carried on the wire.
+type Descriptor = core.Descriptor[string]
+
+// Handler processes one incoming exchange request on the passive side and
+// returns the response to send back, if any. Implementations must be safe
+// for concurrent use.
+type Handler func(req Request) (resp Response, ok bool)
+
+// Transport lets a node exchange gossip messages with peers and receive
+// exchanges initiated by them (delivered to the Handler supplied at
+// construction).
+type Transport interface {
+	// Addr returns the address peers can use to reach this endpoint.
+	Addr() string
+	// Exchange delivers req to addr and, when req.WantReply is set,
+	// waits for the peer's response. ok reports whether a response
+	// arrived. Exchange respects ctx cancellation and deadlines.
+	Exchange(ctx context.Context, addr string, req Request) (resp Response, ok bool, err error)
+	// Close releases the endpoint; subsequent exchanges fail and no
+	// further requests are delivered.
+	Close() error
+}
+
+// Factory builds a transport endpoint whose incoming requests are served
+// by h. The runtime wires a node and its endpoint together through this.
+type Factory func(h Handler) (Transport, error)
+
+// Errors shared by transport implementations.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnreachable is returned when the destination does not exist or
+	// cannot be contacted.
+	ErrUnreachable = errors.New("transport: peer unreachable")
+	// ErrDropped is returned when the fabric's loss model discarded the
+	// message.
+	ErrDropped = errors.New("transport: message dropped")
+)

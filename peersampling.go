@@ -1,0 +1,180 @@
+// Package peersampling is a Go implementation of the gossip-based peer
+// sampling service of Jelasity, Guerraoui, Kermarrec and van Steen,
+// "The Peer Sampling Service: Experimental Evaluation of Unstructured
+// Gossip-Based Implementations" (Middleware 2004).
+//
+// The peer sampling service provides every node of a large-scale
+// distributed system with a continuously refreshed partial view of the
+// group, from which gossip applications draw peers (the paper's init() /
+// getPeer() API). This package implements:
+//
+//   - the paper's generic protocol skeleton with all 27 combinations of
+//     peer selection (rand/head/tail), view selection (rand/head/tail)
+//     and view propagation (push/pull/pushpull), including the named
+//     instances Newscast = (rand,head,pushpull) and Lpbcast =
+//     (rand,rand,push);
+//   - an asynchronous runtime (Node) over pluggable transports: an
+//     in-memory fabric with latency/loss/partition injection, and TCP;
+//   - a cycle-based simulator (Simulation) and the complete experimental
+//     methodology of the paper (see internal/scenario and the benchmark
+//     harness at the repository root);
+//   - example gossip applications built on the service: epidemic
+//     broadcast (package broadcast) and push-pull averaging (package
+//     aggregate).
+//
+// # Quick start
+//
+//	fabric := peersampling.NewFabric()
+//	node, err := peersampling.NewNode(peersampling.NodeConfig{
+//		Protocol: peersampling.Newscast(),
+//		ViewSize: 30,
+//		Period:   time.Second,
+//	}, fabric.Factory("node"))
+//	if err != nil { ... }
+//	defer node.Close()
+//	_ = node.Init([]string{contactAddr})
+//	_ = node.Start()
+//	peer, err := node.GetPeer()
+//
+// For real deployments replace the fabric factory with
+// peersampling.TCPFactory("0.0.0.0:7946").
+package peersampling
+
+import (
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/runtime"
+	"peersampling/internal/scenario"
+	"peersampling/internal/sim"
+	"peersampling/internal/transport"
+)
+
+// Protocol design space (re-exported from the core implementation).
+type (
+	// Protocol is a 3-tuple (peer selection, view selection, propagation).
+	Protocol = core.Protocol
+	// PeerSelection picks the exchange partner: PeerRand, PeerHead, PeerTail.
+	PeerSelection = core.PeerSelection
+	// ViewSelection truncates merged views: ViewRand, ViewHead, ViewTail.
+	ViewSelection = core.ViewSelection
+	// Propagation sets exchange symmetry: Push, Pull, PushPull.
+	Propagation = core.Propagation
+	// Descriptor is a peer address plus the hop-count age of the entry.
+	Descriptor = core.Descriptor[string]
+)
+
+// Policy constants, re-exported.
+const (
+	PeerRand = core.PeerRand
+	PeerHead = core.PeerHead
+	PeerTail = core.PeerTail
+
+	ViewRand = core.ViewRand
+	ViewHead = core.ViewHead
+	ViewTail = core.ViewTail
+
+	Push     = core.Push
+	Pull     = core.Pull
+	PushPull = core.PushPull
+)
+
+// Newscast returns the (rand,head,pushpull) protocol tuple: fast
+// self-healing, balanced degree distribution.
+func Newscast() Protocol { return core.Newscast }
+
+// Lpbcast returns the (rand,rand,push) protocol tuple used by lightweight
+// probabilistic broadcast.
+func Lpbcast() Protocol { return core.Lpbcast }
+
+// ParseProtocol parses the paper's tuple notation, e.g.
+// "(rand,head,pushpull)".
+func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
+
+// AllProtocols returns all 27 protocol combinations.
+func AllProtocols() []Protocol { return core.AllProtocols() }
+
+// StudiedProtocols returns the eight protocols the paper's evaluation
+// retains after excluding degenerate combinations.
+func StudiedProtocols() []Protocol { return core.StudiedProtocols() }
+
+// Runtime service (re-exported from internal/runtime).
+type (
+	// Service is the paper's two-method API: Init and GetPeer.
+	Service = runtime.Service
+	// Node is an asynchronous peer sampling node over a Transport.
+	Node = runtime.Node
+	// NodeConfig parameterises a Node.
+	NodeConfig = runtime.Config
+	// Combined couples two protocol instances into one service (the
+	// paper's concluding "second view" proposal).
+	Combined = runtime.Combined
+)
+
+// NewNode constructs a runtime node whose transport endpoint is built by
+// the factory.
+func NewNode(cfg NodeConfig, factory TransportFactory) (*Node, error) {
+	return runtime.New(cfg, factory)
+}
+
+// NewCombined couples two protocol instances into one sampling service.
+func NewCombined(primary, secondary NodeConfig, factory TransportFactory, seed uint64) (*Combined, error) {
+	return runtime.NewCombined(primary, secondary, factory, seed)
+}
+
+// Transports (re-exported from internal/transport).
+type (
+	// Transport moves gossip exchanges between nodes.
+	Transport = transport.Transport
+	// TransportFactory builds a node's endpoint around its handler.
+	TransportFactory = transport.Factory
+	// Fabric is the in-memory test network.
+	Fabric = transport.Fabric
+	// FabricOption configures a Fabric (latency, loss).
+	FabricOption = transport.FabricOption
+)
+
+// NewFabric returns an in-memory network for single-process clusters.
+func NewFabric(opts ...FabricOption) *Fabric { return transport.NewFabric(opts...) }
+
+// FabricLatency makes every fabric exchange take d.
+func FabricLatency(d time.Duration) FabricOption { return transport.WithLatency(d) }
+
+// FabricLoss makes the fabric drop each exchange with probability p,
+// deterministically from seed.
+func FabricLoss(p float64, seed uint64) FabricOption { return transport.WithLoss(p, seed) }
+
+// TCPFactory returns a TransportFactory serving real TCP on the given
+// listen address (use "host:0" for an ephemeral port; Node.Addr reports
+// the bound address).
+func TCPFactory(listen string) TransportFactory {
+	return func(h transport.Handler) (transport.Transport, error) {
+		return transport.ListenTCP(listen, h)
+	}
+}
+
+// Simulation (re-exported from internal/sim) for experimentation at scale
+// without real sockets or timers.
+type (
+	// Simulation is a cycle-based network of protocol instances.
+	Simulation = sim.Network
+	// SimConfig parameterises a Simulation.
+	SimConfig = sim.Config
+	// SimNodeID identifies a simulated node.
+	SimNodeID = sim.NodeID
+	// Observation is one row of overlay metrics.
+	Observation = sim.Observation
+	// MetricsConfig tunes metric estimation on large overlays.
+	MetricsConfig = sim.MetricsConfig
+)
+
+// NewSimulation returns an empty cycle-based simulation.
+func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
+
+// NewRandomOverlay returns a Simulation of n nodes whose views start as
+// uniform random samples (the paper's random initial topology).
+func NewRandomOverlay(cfg SimConfig, n int) *Simulation { return scenario.BuildRandom(cfg, n) }
+
+// NewLatticeOverlay returns a Simulation of n nodes bootstrapped as the
+// paper's structured ring lattice.
+func NewLatticeOverlay(cfg SimConfig, n int) *Simulation { return scenario.BuildLattice(cfg, n) }

@@ -1,0 +1,143 @@
+package peersampling_test
+
+import (
+	"testing"
+	"time"
+
+	"peersampling"
+)
+
+func TestFacadeProtocolHelpers(t *testing.T) {
+	if got := peersampling.Newscast().String(); got != "(rand,head,pushpull)" {
+		t.Errorf("Newscast = %s", got)
+	}
+	if got := peersampling.Lpbcast().String(); got != "(rand,rand,push)" {
+		t.Errorf("Lpbcast = %s", got)
+	}
+	p, err := peersampling.ParseProtocol("(tail,rand,push)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeerSel != peersampling.PeerTail || p.ViewSel != peersampling.ViewRand || p.Prop != peersampling.Push {
+		t.Errorf("parsed %+v", p)
+	}
+	if len(peersampling.AllProtocols()) != 27 {
+		t.Error("AllProtocols != 27")
+	}
+	if len(peersampling.StudiedProtocols()) != 8 {
+		t.Error("StudiedProtocols != 8")
+	}
+}
+
+func TestFacadeNodeLifecycle(t *testing.T) {
+	fabric := peersampling.NewFabric()
+	factory := fabric.Factory("fx")
+	a, err := peersampling.NewNode(peersampling.NodeConfig{
+		Protocol: peersampling.Newscast(),
+		ViewSize: 4,
+		Period:   time.Hour,
+		Seed:     1,
+	}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := peersampling.NewNode(peersampling.NodeConfig{
+		Protocol: peersampling.Newscast(),
+		ViewSize: 4,
+		Period:   time.Hour,
+		Seed:     2,
+	}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Init([]string{b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	peer, err := a.GetPeer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer != b.Addr() {
+		t.Errorf("GetPeer = %q want %q", peer, b.Addr())
+	}
+	// b learned about a through the pushpull exchange.
+	found := false
+	for _, d := range b.View() {
+		if d.Addr == a.Addr() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("passive side did not learn the initiator")
+	}
+}
+
+func TestFacadeFabricOptions(t *testing.T) {
+	fabric := peersampling.NewFabric(
+		peersampling.FabricLatency(time.Millisecond),
+		peersampling.FabricLoss(0, 1),
+	)
+	if fabric == nil {
+		t.Fatal("nil fabric")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := peersampling.SimConfig{Protocol: peersampling.Newscast(), ViewSize: 15, Seed: 3}
+	w, err := peersampling.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 {
+		t.Error("fresh simulation not empty")
+	}
+	overlay := peersampling.NewRandomOverlay(cfg, 200)
+	overlay.Run(10)
+	obs := overlay.Observe(peersampling.MetricsConfig{PathSources: 10, ClusteringSample: 50, Seed: 4})
+	if obs.LiveNodes != 200 || obs.Components != 1 {
+		t.Errorf("random overlay observation %+v", obs)
+	}
+	lattice := peersampling.NewLatticeOverlay(cfg, 100)
+	snap := lattice.TakeSnapshot()
+	lo, hi := snap.Graph.MinMaxDegree()
+	// With odd c the one-sided extra neighbour is mirrored by the reverse
+	// direction, so every undirected degree is c+1.
+	if lo != 16 || hi != 16 {
+		t.Errorf("lattice degrees [%d,%d] want exactly 16", lo, hi)
+	}
+	if _, err := peersampling.NewSimulation(peersampling.SimConfig{}); err == nil {
+		t.Error("invalid sim config accepted")
+	}
+}
+
+func TestFacadeCombined(t *testing.T) {
+	fabric := peersampling.NewFabric()
+	svc, err := peersampling.NewCombined(
+		peersampling.NodeConfig{Protocol: peersampling.Newscast(), ViewSize: 4, Period: time.Hour},
+		peersampling.NodeConfig{Protocol: peersampling.Lpbcast(), ViewSize: 4, Period: time.Hour},
+		fabric.Factory("cmb"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	var _ peersampling.Service = svc
+}
+
+func TestFacadeTCPFactory(t *testing.T) {
+	node, err := peersampling.NewNode(peersampling.NodeConfig{
+		Protocol: peersampling.Newscast(),
+		ViewSize: 4,
+		Period:   time.Hour,
+	}, peersampling.TCPFactory("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if node.Addr() == "" || node.Addr() == "127.0.0.1:0" {
+		t.Errorf("TCP address not resolved: %q", node.Addr())
+	}
+}
