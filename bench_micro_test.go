@@ -148,6 +148,97 @@ func BenchmarkCodecRoundTrip(b *testing.B) {
 	}
 }
 
+// benchEchoHandler echoes pull requests, standing in for the passive
+// protocol thread in transport benchmarks.
+func benchEchoHandler(req transport.Request) (transport.Response, bool) {
+	return transport.Response{From: "server", Buffer: req.Buffer}, req.WantReply
+}
+
+// benchWireRequest is a realistic pushpull request: a full 30-descriptor
+// view plus the sender's own descriptor.
+func benchWireRequest(from string) transport.Request {
+	buf := make([]transport.Descriptor, 31)
+	for i := range buf {
+		buf[i] = transport.Descriptor{Addr: fmt.Sprintf("10.0.%d.%d:7946", i, i), Hop: int32(i)}
+	}
+	return transport.Request{From: from, WantReply: true, Buffer: buf}
+}
+
+// BenchmarkTCPExchangeDial measures a full pushpull exchange over the
+// dial-per-exchange TCP baseline on loopback.
+func BenchmarkTCPExchangeDial(b *testing.B) {
+	server, err := transport.ListenTCP("127.0.0.1:0", benchEchoHandler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := transport.ListenTCP("127.0.0.1:0", benchEchoHandler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	req := benchWireRequest(client.Addr())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := client.Exchange(ctx, server.Addr(), req); err != nil || !ok {
+			b.Fatalf("exchange: %v ok=%v", err, ok)
+		}
+	}
+}
+
+// BenchmarkTCPExchangePooled measures the same exchange over pooled
+// persistent connections; the delta against BenchmarkTCPExchangeDial is
+// the per-exchange dial cost the pool amortises away.
+func BenchmarkTCPExchangePooled(b *testing.B) {
+	server, err := transport.ListenPooledTCP("127.0.0.1:0", benchEchoHandler, transport.PoolConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := transport.ListenPooledTCP("127.0.0.1:0", benchEchoHandler, transport.PoolConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	req := benchWireRequest(client.Addr())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := client.Exchange(ctx, server.Addr(), req); err != nil || !ok {
+			b.Fatalf("exchange: %v ok=%v", err, ok)
+		}
+	}
+	b.StopTimer()
+	stats := client.TransportStats()
+	b.ReportMetric(float64(stats.Dials), "dials")
+}
+
+// BenchmarkUDPExchange measures the same exchange as one datagram pair.
+func BenchmarkUDPExchange(b *testing.B) {
+	server, err := transport.ListenUDP("127.0.0.1:0", benchEchoHandler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := transport.ListenUDP("127.0.0.1:0", benchEchoHandler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	req := benchWireRequest(client.Addr())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := client.Exchange(ctx, server.Addr(), req); err != nil || !ok {
+			b.Fatalf("exchange: %v ok=%v", err, ok)
+		}
+	}
+}
+
 func BenchmarkFabricExchange(b *testing.B) {
 	f := transport.NewFabric()
 	handler := func(req transport.Request) (transport.Response, bool) {

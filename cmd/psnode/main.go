@@ -1,14 +1,17 @@
-// Command psnode runs a real peer sampling node over TCP: the deployable
-// daemon form of the service. Peers find each other through the -contacts
-// bootstrap list and keep gossiping membership from then on.
+// Command psnode runs a real peer sampling node: the deployable daemon
+// form of the service. Peers find each other through the -contacts
+// bootstrap list and keep gossiping membership from then on. The wire
+// backend is selected with -transport: "tcp-pooled" (persistent
+// connections, the default), "tcp" (dial per exchange) or "udp" (one
+// datagram per message).
 //
 // Usage:
 //
 //	psnode -listen 127.0.0.1:7946
-//	psnode -listen 127.0.0.1:7947 -contacts 127.0.0.1:7946
+//	psnode -listen 127.0.0.1:7947 -contacts 127.0.0.1:7946 -transport udp
 //
-// Every -report interval the daemon prints its current view and a
-// getPeer() sample. Stop with SIGINT/SIGTERM.
+// Every -report interval the daemon prints its current view, a getPeer()
+// sample and wire-level transport counters. Stop with SIGINT/SIGTERM.
 package main
 
 import (
@@ -29,7 +32,9 @@ func main() {
 	log.SetPrefix("psnode: ")
 
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		listen  = flag.String("listen", "127.0.0.1:0", "listen address")
+		backend = flag.String("transport", "tcp-pooled",
+			fmt.Sprintf("wire backend, one of %v; tcp and tcp-pooled interoperate, udp nodes only reach udp nodes", peersampling.TransportBackends()))
 		contacts  = flag.String("contacts", "", "comma-separated bootstrap addresses")
 		protoFlag = flag.String("protocol", "(rand,head,pushpull)", "protocol tuple")
 		viewSize  = flag.Int("c", 30, "view size")
@@ -43,13 +48,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	factory, err := peersampling.NewTransportFactory(*backend, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
 	node, err := peersampling.NewNode(peersampling.NodeConfig{
 		Protocol: proto,
 		ViewSize: *viewSize,
 		Period:   *period,
 		Diverse:  *diverse,
 		OnError:  func(err error) { log.Printf("exchange failed: %v", err) },
-	}, peersampling.TCPFactory(*listen))
+	}, factory)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +76,7 @@ func main() {
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s, protocol %s, c=%d, period %v", node.Addr(), proto, *viewSize, *period)
+	log.Printf("listening on %s (%s), protocol %s, c=%d, period %v", node.Addr(), *backend, proto, *viewSize, *period)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -87,6 +96,10 @@ func main() {
 			cycles, exchanges, failures, handled := node.Stats()
 			log.Printf("view(%d): %s", len(view), strings.Join(entries, " "))
 			log.Printf("stats: cycles=%d exchanges=%d failures=%d served=%d", cycles, exchanges, failures, handled)
+			if ts, ok := node.TransportStats(); ok {
+				log.Printf("wire: dials=%d reuses=%d out=%dB in=%dB dropped=%d",
+					ts.Dials, ts.Reuses, ts.BytesOut, ts.BytesIn, ts.DatagramsDropped)
+			}
 			if peer, err := node.GetPeer(); err == nil {
 				log.Printf("getPeer() -> %s", peer)
 			}

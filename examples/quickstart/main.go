@@ -19,7 +19,9 @@ func main() {
 	)
 
 	// The in-memory fabric stands in for a real network; swap in
-	// peersampling.TCPFactory("0.0.0.0:0") to run over TCP.
+	// peersampling.PooledTCPFactory("127.0.0.1:0") to run over TCP. The
+	// listen address is also the node's gossip identity, so on a real
+	// network bind an address peers can reach, not the wildcard.
 	fabric := peersampling.NewFabric()
 	factory := fabric.Factory("node")
 

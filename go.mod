@@ -1,0 +1,3 @@
+module peersampling
+
+go 1.24

@@ -66,7 +66,8 @@ type Node struct {
 
 	mu    sync.Mutex
 	state *core.Node[string]
-	queue []string // shuffled sampling queue for Diverse mode
+	rng   *rand.Rand // seeded sampling RNG for Diverse mode (guarded by mu)
+	queue []string   // shuffled sampling queue for Diverse mode
 
 	runMu   sync.Mutex
 	stop    chan struct{}
@@ -114,6 +115,9 @@ func New(cfg Config, factory transport.Factory) (*Node, error) {
 		return nil, err
 	}
 	n.state = state
+	// A distinct stream keeps GetPeer sampling from perturbing the
+	// protocol's own peer/view selection sequence.
+	n.rng = rand.New(rand.NewPCG(seed, 0x6E7))
 	return n, nil
 }
 
@@ -169,7 +173,7 @@ func (n *Node) GetPeer() (string, error) {
 	if len(addrs) == 0 {
 		return "", core.ErrEmptyView
 	}
-	rand.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	n.rng.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
 	n.queue = addrs[1:]
 	return addrs[0], nil
 }
@@ -187,6 +191,17 @@ func (n *Node) Stats() (cycles, exchanges, failures, handled uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.cyclesObsv, n.exchanges, n.failures, n.handled
+}
+
+// TransportStats reports the endpoint's wire-level counters (dials,
+// connection reuses, bytes in/out, dropped datagrams). ok is false when
+// the underlying transport keeps no counters (e.g. the in-memory fabric).
+func (n *Node) TransportStats() (stats transport.Stats, ok bool) {
+	r, ok := n.transport.(transport.StatsReporter)
+	if !ok {
+		return transport.Stats{}, false
+	}
+	return r.TransportStats(), true
 }
 
 // Start launches the active thread: every Period the node ages its view

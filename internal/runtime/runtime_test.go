@@ -186,6 +186,44 @@ func TestDiverseSamplingAvoidsRepeats(t *testing.T) {
 	}
 }
 
+// TestDiverseGetPeerDeterministic is the regression test for the Diverse
+// shuffle using the package-global RNG: two nodes built with the same
+// seed and the same view must emit identical GetPeer sequences, as
+// Config.Seed documents.
+func TestDiverseGetPeerDeterministic(t *testing.T) {
+	contacts := []string{"peer-a", "peer-b", "peer-c", "peer-d", "peer-e"}
+	build := func() *Node {
+		f := transport.NewFabric() // separate fabrics give both nodes the address "twin-0"
+		cfg := memConfig(core.Newscast)
+		cfg.Diverse = true
+		cfg.Seed = 42
+		n, err := New(cfg, f.Factory("twin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		if err := n.Init(contacts); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a, b := build(), build()
+	// Three full view passes: the refill shuffle runs multiple times.
+	for i := 0; i < 3*len(contacts); i++ {
+		pa, err := a.GetPeer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.GetPeer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa != pb {
+			t.Fatalf("call %d diverged: %q vs %q (Diverse shuffle not seeded)", i, pa, pb)
+		}
+	}
+}
+
 func TestFailedExchangeIsCountedAndSurvived(t *testing.T) {
 	f := transport.NewFabric()
 	var errs []error

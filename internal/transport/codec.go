@@ -28,6 +28,12 @@ const (
 	// buffer. Both protect servers from hostile or corrupt frames.
 	MaxAddrLen     = 512
 	MaxDescriptors = 4096
+
+	// MaxFrameSize bounds a single length-prefixed frame on the TCP
+	// transports; a full view of MaxDescriptors maximal descriptors fits
+	// comfortably. The UDP transport enforces its own, much smaller bound
+	// (MaxDatagramSize) since a message must fit one datagram there.
+	MaxFrameSize = 1 << 22
 )
 
 // EncodeRequest serialises a request.

@@ -1,0 +1,72 @@
+package transport
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of a transport endpoint's wire-level
+// counters. All fields are cumulative since the endpoint was created.
+type Stats struct {
+	// Dials counts new outbound connections (TCP) or sockets (UDP)
+	// created for exchanges.
+	Dials uint64
+	// Reuses counts exchanges served by a pooled connection instead of a
+	// fresh dial. Always zero for unpooled transports.
+	Reuses uint64
+	// BytesOut and BytesIn count payload plus framing bytes written and
+	// read by this endpoint, on both the active and passive side.
+	BytesOut uint64
+	BytesIn  uint64
+	// FramesOut and FramesIn count complete frames (TCP) or datagrams
+	// (UDP) written and read.
+	FramesOut uint64
+	FramesIn  uint64
+	// DatagramsDropped counts messages lost to the datagram nature of a
+	// backend: incoming datagrams or frames discarded because they were
+	// oversized, truncated or failed to decode, plus (UDP only) pull
+	// exchanges that timed out awaiting a response datagram — the
+	// client-visible face of a lost request or reply.
+	DatagramsDropped uint64
+}
+
+// StatsReporter is implemented by transports that keep wire-level
+// counters. The runtime surfaces these alongside Node.Stats.
+type StatsReporter interface {
+	TransportStats() Stats
+}
+
+// counters is the atomic backing store shared by the TCP, pooled-TCP and
+// UDP transports. The zero value is ready to use.
+type counters struct {
+	dials     atomic.Uint64
+	reuses    atomic.Uint64
+	bytesOut  atomic.Uint64
+	bytesIn   atomic.Uint64
+	framesOut atomic.Uint64
+	framesIn  atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Dials:            c.dials.Load(),
+		Reuses:           c.reuses.Load(),
+		BytesOut:         c.bytesOut.Load(),
+		BytesIn:          c.bytesIn.Load(),
+		FramesOut:        c.framesOut.Load(),
+		FramesIn:         c.framesIn.Load(),
+		DatagramsDropped: c.dropped.Load(),
+	}
+}
+
+// noteWrite records one outbound frame of n payload bytes plus framing
+// overhead.
+func (c *counters) noteWrite(n int) {
+	c.framesOut.Add(1)
+	c.bytesOut.Add(uint64(n))
+}
+
+// noteRead records one inbound frame of n payload bytes plus framing
+// overhead.
+func (c *counters) noteRead(n int) {
+	c.framesIn.Add(1)
+	c.bytesIn.Add(uint64(n))
+}

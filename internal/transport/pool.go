@@ -1,0 +1,334 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pool tuning defaults. Gossip traffic is one exchange per peer per
+// period, so a small idle pool per peer is plenty; the idle timeout only
+// needs to outlive a handful of periods to turn every steady-state
+// exchange into a reuse.
+const (
+	DefaultMaxIdlePerPeer = 2
+	DefaultIdleTimeout    = time.Minute
+	// poolSweepDivisor sets how often the eviction sweep runs relative to
+	// the idle timeout.
+	poolSweepDivisor = 4
+)
+
+// PoolConfig tunes a PooledTCP transport. The zero value selects the
+// defaults above.
+type PoolConfig struct {
+	// MaxIdlePerPeer caps the idle connections retained per peer address;
+	// surplus connections are closed on release rather than pooled.
+	MaxIdlePerPeer int
+	// IdleTimeout evicts pooled connections unused for this long. Values
+	// above DefaultIdleTimeout (or below a millisecond) are rejected at
+	// construction: the passive side of every TCP backend keeps served
+	// connections for twice the DEFAULT idle timeout, and the initiating
+	// side abandoning a connection within the default window is what
+	// guarantees a push is never written into a connection the peer has
+	// already closed.
+	IdleTimeout time.Duration
+}
+
+func (c *PoolConfig) fill() error {
+	if c.MaxIdlePerPeer <= 0 {
+		c.MaxIdlePerPeer = DefaultMaxIdlePerPeer
+	}
+	switch {
+	case c.IdleTimeout == 0:
+		c.IdleTimeout = DefaultIdleTimeout
+	case c.IdleTimeout < time.Millisecond:
+		// Also guards the sweep ticker: IdleTimeout below
+		// poolSweepDivisor nanoseconds would zero its interval.
+		return fmt.Errorf("transport: pool idle timeout %v is below the 1ms minimum", c.IdleTimeout)
+	case c.IdleTimeout > DefaultIdleTimeout:
+		// Silently clamping would quietly disable pooling instead;
+		// surface the conflict with the passive keep-alive guarantee.
+		return fmt.Errorf("transport: pool idle timeout %v exceeds the %v maximum (peers only keep served connections for twice that long)",
+			c.IdleTimeout, DefaultIdleTimeout)
+	}
+	return nil
+}
+
+// PooledTCP is a Transport over persistent TCP connections. Unlike TCP,
+// which dials a fresh connection per exchange, it keeps a small pool of
+// connections per peer and runs many length-prefixed request/response
+// exchanges over each one, amortising the dial (and kernel connection
+// setup) across the node's lifetime. Idle connections are evicted after
+// PoolConfig.IdleTimeout, and the passive side serves frames in a loop
+// until its peer goes quiet for the same duration.
+type PooledTCP struct {
+	listener net.Listener
+	handler  Handler
+	cfg      PoolConfig
+	stats    counters
+
+	mu     sync.Mutex
+	closed bool
+	idle   map[string][]*pooledConn // peer address -> idle connections, oldest first
+	reg    *connRegistry            // accepted connections currently being served
+	wg     sync.WaitGroup
+	stop   chan struct{}
+}
+
+var (
+	_ Transport     = (*PooledTCP)(nil)
+	_ StatsReporter = (*PooledTCP)(nil)
+)
+
+// pooledConn is an outbound connection plus the time it was returned to
+// the pool, which drives idle eviction.
+type pooledConn struct {
+	conn     net.Conn
+	idleFrom time.Time
+	reused   bool
+}
+
+// ListenPooledTCP starts serving on addr with h handling incoming
+// exchanges, pooling outbound connections per PoolConfig.
+func ListenPooledTCP(addr string, h Handler, cfg PoolConfig) (*PooledTCP, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &PooledTCP{
+		listener: l,
+		handler:  h,
+		cfg:      cfg,
+		idle:     make(map[string][]*pooledConn),
+		reg:      newConnRegistry(),
+		stop:     make(chan struct{}),
+	}
+	t.wg.Add(2)
+	go t.serve()
+	go t.sweepLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *PooledTCP) Addr() string { return t.listener.Addr().String() }
+
+// TransportStats implements StatsReporter.
+func (t *PooledTCP) TransportStats() Stats { return t.stats.snapshot() }
+
+func (t *PooledTCP) serve() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn is the passive side of a persistent connection; the deadline
+// schedule (shared with the plain TCP backend) is keepAliveDeadline's.
+func (t *PooledTCP) serveConn(conn net.Conn) {
+	servePersistent(conn, t.handler, &t.stats, t.reg, keepAliveDeadline)
+}
+
+// Exchange implements Transport. It borrows a pooled connection to addr
+// (dialing one if none is idle), runs the exchange over it, and returns it
+// to the pool on success. An exchange that fails on a reused connection is
+// retried once on a fresh dial: the pooled connection may simply have been
+// closed by the peer's idle timer, and gossip view merges tolerate the
+// rare duplicate delivery this can cause.
+func (t *PooledTCP) Exchange(ctx context.Context, addr string, req Request) (Response, bool, error) {
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, false, err
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		deadline = time.Now().Add(tcpDefaultTimeout)
+	}
+	pc, err := t.borrow(ctx, addr, deadline)
+	if err != nil {
+		return Response{}, false, err
+	}
+	resp, ok, err := t.exchangeOn(pc, addr, frame, req.WantReply, deadline)
+	if err != nil && pc.reused && ctx.Err() == nil && time.Now().Before(deadline) {
+		// The pooled connection was stale (e.g. idle-closed by the peer);
+		// retry once on a fresh dial. A failure that already consumed the
+		// deadline is reported as-is: a retry could never complete.
+		pc, derr := t.dial(ctx, addr, deadline)
+		if derr != nil {
+			return Response{}, false, derr
+		}
+		resp, ok, err = t.exchangeOn(pc, addr, frame, req.WantReply, deadline)
+	}
+	return resp, ok, err
+}
+
+// exchangeOn runs one framed request/response over pc, releasing it back
+// to the pool on success and closing it on failure.
+func (t *PooledTCP) exchangeOn(pc *pooledConn, addr string, frame []byte, wantReply bool, deadline time.Time) (Response, bool, error) {
+	_ = pc.conn.SetDeadline(deadline)
+	resp, ok, err := exchangeFrames(pc.conn, frame, wantReply, addr, &t.stats)
+	if err != nil {
+		pc.conn.Close()
+		return Response{}, false, err
+	}
+	t.release(addr, pc)
+	return resp, ok, nil
+}
+
+// borrow returns an idle pooled connection to addr or dials a new one.
+// Connections idle past the timeout are discarded here even if the sweep
+// has not caught them yet: the borrow-time check is exact where the
+// sweeper is periodic, and it upholds the invariant that this side never
+// reuses a connection the peer's (2x longer) passive deadline may have
+// closed — which would silently swallow push-only exchanges.
+func (t *PooledTCP) borrow(ctx context.Context, addr string, deadline time.Time) (*pooledConn, error) {
+	cutoff := time.Now().Add(-t.cfg.IdleTimeout)
+	var stale []*pooledConn
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var fresh *pooledConn
+	if conns := t.idle[addr]; len(conns) > 0 {
+		// Pop the most recently used connection: it is the least likely to
+		// have gone stale.
+		for i := len(conns) - 1; i >= 0; i-- {
+			if conns[i].idleFrom.Before(cutoff) {
+				// Older entries can only be staler; discard the rest.
+				stale = append(stale, conns[:i+1]...)
+				conns = conns[i+1:]
+				break
+			}
+			if fresh == nil {
+				fresh = conns[i]
+				conns = conns[:i]
+			}
+		}
+		if len(conns) == 0 {
+			delete(t.idle, addr)
+		} else {
+			t.idle[addr] = conns
+		}
+	}
+	t.mu.Unlock()
+	for _, pc := range stale {
+		pc.conn.Close()
+	}
+	if fresh != nil {
+		fresh.reused = true
+		t.stats.reuses.Add(1)
+		return fresh, nil
+	}
+	return t.dial(ctx, addr, deadline)
+}
+
+func (t *PooledTCP) dial(ctx context.Context, addr string, deadline time.Time) (*pooledConn, error) {
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.stats.dials.Add(1)
+	return &pooledConn{conn: conn}, nil
+}
+
+// release returns a healthy connection to the idle pool, or closes it if
+// the pool is full or the transport shut down meanwhile.
+func (t *PooledTCP) release(addr string, pc *pooledConn) {
+	pc.idleFrom = time.Now()
+	t.mu.Lock()
+	if !t.closed && len(t.idle[addr]) < t.cfg.MaxIdlePerPeer {
+		t.idle[addr] = append(t.idle[addr], pc)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	pc.conn.Close()
+}
+
+// sweepLoop periodically evicts connections idle past the timeout.
+func (t *PooledTCP) sweepLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.cfg.IdleTimeout / poolSweepDivisor)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.sweep(time.Now())
+		}
+	}
+}
+
+// sweep closes and forgets idle connections older than the idle timeout.
+func (t *PooledTCP) sweep(now time.Time) {
+	cutoff := now.Add(-t.cfg.IdleTimeout)
+	var victims []*pooledConn
+	t.mu.Lock()
+	for addr, conns := range t.idle {
+		// Connections are appended in release order, so the stale prefix is
+		// everything returned before the cutoff.
+		stale := 0
+		for stale < len(conns) && conns[stale].idleFrom.Before(cutoff) {
+			stale++
+		}
+		if stale == 0 {
+			continue
+		}
+		victims = append(victims, conns[:stale]...)
+		rest := conns[stale:]
+		if len(rest) == 0 {
+			delete(t.idle, addr)
+		} else {
+			t.idle[addr] = append(conns[:0], rest...)
+		}
+	}
+	t.mu.Unlock()
+	for _, pc := range victims {
+		pc.conn.Close()
+	}
+}
+
+// Close implements Transport: it stops the listener and sweeper, closes
+// every pooled connection and waits for in-flight handlers.
+func (t *PooledTCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	pools := t.idle
+	t.idle = make(map[string][]*pooledConn)
+	t.mu.Unlock()
+	close(t.stop)
+	for _, conns := range pools {
+		for _, pc := range conns {
+			pc.conn.Close()
+		}
+	}
+	// Unblock passive handlers parked between frames; waiting for their
+	// peers' idle timers would stall Close for minutes.
+	t.reg.closeAll()
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}

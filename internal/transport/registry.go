@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Builder constructs a Factory serving real traffic on a listen address.
+// It is the registration unit of the backend registry: daemons resolve a
+// user-supplied backend name to a Builder, then bind it to their listen
+// flag.
+type Builder func(listen string) Factory
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Builder{}
+)
+
+// Register adds a named backend to the registry, replacing any previous
+// registration under the same name. The built-in backends "tcp",
+// "tcp-pooled" and "udp" are registered at init time; external packages
+// may add their own.
+func Register(name string, b Builder) {
+	if name == "" || b == nil {
+		panic("transport: Register with empty name or nil builder")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = b
+}
+
+// Backends returns the sorted names of all registered backends.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewFactory resolves a backend name to a Factory bound to the given
+// listen address. Unknown names list the available backends in the error.
+func NewFactory(name, listen string) (Factory, error) {
+	registryMu.RLock()
+	b, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown backend %q (available: %v)", name, Backends())
+	}
+	return b(listen), nil
+}
+
+func init() {
+	Register("tcp", func(listen string) Factory {
+		return func(h Handler) (Transport, error) { return ListenTCP(listen, h) }
+	})
+	Register("tcp-pooled", func(listen string) Factory {
+		return func(h Handler) (Transport, error) { return ListenPooledTCP(listen, h, PoolConfig{}) }
+	})
+	Register("udp", func(listen string) Factory {
+		return func(h Handler) (Transport, error) { return ListenUDP(listen, h) }
+	})
+}

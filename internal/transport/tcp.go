@@ -15,25 +15,27 @@ import (
 // caller's context has no earlier deadline.
 const tcpDefaultTimeout = 5 * time.Second
 
-// maxFrameSize bounds a single length-prefixed frame on the wire; a full
-// view of MaxDescriptors maximal descriptors fits comfortably.
-const maxFrameSize = 1 << 22
-
 // TCP is a Transport over real TCP connections. Every exchange uses a
 // fresh short-lived connection carrying one length-prefixed request frame
-// and, for pull-enabled exchanges, one response frame. Gossip exchanges
-// are tiny and infrequent (one per node per period), so connection reuse
-// is deliberately not attempted.
+// and, for pull-enabled exchanges, one response frame. It is the simplest
+// real-network backend and the baseline the pooled transport (PooledTCP)
+// is benchmarked against; at high gossip rates the per-exchange dial
+// dominates, so prefer PooledTCP for production deployments.
 type TCP struct {
 	listener net.Listener
 	handler  Handler
+	stats    counters
 
 	mu     sync.Mutex
 	closed bool
+	reg    *connRegistry
 	wg     sync.WaitGroup
 }
 
-var _ Transport = (*TCP)(nil)
+var (
+	_ Transport     = (*TCP)(nil)
+	_ StatsReporter = (*TCP)(nil)
+)
 
 // ListenTCP starts serving on addr (e.g. "127.0.0.1:0") with h handling
 // incoming exchanges.
@@ -45,7 +47,7 @@ func ListenTCP(addr string, h Handler) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{listener: l, handler: h}
+	t := &TCP{listener: l, handler: h, reg: newConnRegistry()}
 	t.wg.Add(1)
 	go t.serve()
 	return t, nil
@@ -70,28 +72,90 @@ func (t *TCP) serve() {
 	}
 }
 
+// handleConn serves one connection. The first frame must arrive promptly
+// (bounding stalled or hostile connections), but after it the connection
+// is served in a loop: a persistent (pooled) peer reuses it for many
+// exchanges, and the keep-alive deadline is twice the pool's default idle
+// timeout so this side never closes a connection before a pooled client
+// evicts it — closing first would let the client write a push into a dead
+// socket and lose it silently. Dial-per-exchange clients simply close
+// after one exchange, ending the loop with EOF.
 func (t *TCP) handleConn(conn net.Conn) {
-	defer conn.Close()
-	// A peer must complete its exchange promptly; this also bounds the
-	// damage of a stalled or hostile connection.
-	_ = conn.SetDeadline(time.Now().Add(tcpDefaultTimeout))
-	frame, err := readFrame(conn)
-	if err != nil {
-		return
+	servePersistent(conn, t.handler, &t.stats, t.reg, keepAliveDeadline)
+}
+
+// keepAliveDeadline is the passive read budget shared by BOTH TCP
+// backends: a prompt bound for a connection's opening frame, then twice
+// the default pool idle timeout between frames. The 2x factor is
+// protocol-critical — every pooled initiator evicts idle connections
+// within DefaultIdleTimeout (enforced by PoolConfig validation), so the
+// passive side closing later than that is what prevents a push from
+// being written into an already-closed connection and lost silently.
+func keepAliveDeadline(first bool) time.Duration {
+	if first {
+		return tcpDefaultTimeout
 	}
+	return 2 * DefaultIdleTimeout
+}
+
+// handleFrame is the shared passive side of the TCP transports: decode a
+// request frame, run the handler, and write the response frame when the
+// request pulls one. It reports whether the stream is still in sync;
+// false means the connection must be torn down.
+func handleFrame(conn net.Conn, frame []byte, h Handler, stats *counters) bool {
 	req, _, isReq, err := DecodeMessage(frame)
 	if err != nil || !isReq {
-		return
+		stats.dropped.Add(1)
+		return false // a corrupt stream cannot be resynchronised
 	}
-	resp, ok := t.handler(req)
-	if !ok {
-		return
+	resp, ok := h(req)
+	// The WantReply guard keeps a persistent stream in sync even if a
+	// handler returns ok for a push-only request: an unrequested response
+	// frame would be misread as the reply to the peer's next exchange.
+	if !ok || !req.WantReply {
+		return true
 	}
 	out, err := EncodeResponse(resp)
 	if err != nil {
-		return
+		return false
 	}
-	_ = writeFrame(conn, out)
+	if writeFrame(conn, out) != nil {
+		return false
+	}
+	stats.noteWrite(len(out) + frameHeaderSize)
+	return true
+}
+
+// exchangeFrames is the shared active side of the TCP transports: write
+// the encoded request frame over conn and, when wantReply is set, read
+// and decode the response frame. The caller owns conn's lifecycle and
+// deadlines.
+func exchangeFrames(conn net.Conn, frame []byte, wantReply bool, addr string, stats *counters) (Response, bool, error) {
+	if err := writeFrame(conn, frame); err != nil {
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	stats.noteWrite(len(frame) + frameHeaderSize)
+	if !wantReply {
+		return Response{}, false, nil
+	}
+	respFrame, err := readFrame(conn)
+	if err != nil {
+		if errors.Is(err, errFrameTooLarge) {
+			stats.dropped.Add(1)
+		}
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	stats.noteRead(len(respFrame) + frameHeaderSize)
+	_, resp, isReq, err := DecodeMessage(respFrame)
+	if err != nil {
+		stats.dropped.Add(1)
+		return Response{}, false, err
+	}
+	if isReq {
+		stats.dropped.Add(1)
+		return Response{}, false, errors.New("transport: peer answered with a request frame")
+	}
+	return resp, true, nil
 }
 
 // Exchange implements Transport.
@@ -102,6 +166,10 @@ func (t *TCP) Exchange(ctx context.Context, addr string, req Request) (Response,
 	if closed {
 		return Response{}, false, ErrClosed
 	}
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, false, err
+	}
 	deadline, hasDeadline := ctx.Deadline()
 	if !hasDeadline {
 		deadline = time.Now().Add(tcpDefaultTimeout)
@@ -111,35 +179,14 @@ func (t *TCP) Exchange(ctx context.Context, addr string, req Request) (Response,
 	if err != nil {
 		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
+	t.stats.dials.Add(1)
 	defer conn.Close()
 	_ = conn.SetDeadline(deadline)
-
-	frame, err := EncodeRequest(req)
-	if err != nil {
-		return Response{}, false, err
-	}
-	if err := writeFrame(conn, frame); err != nil {
-		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
-	}
-	if !req.WantReply {
-		return Response{}, false, nil
-	}
-	respFrame, err := readFrame(conn)
-	if err != nil {
-		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
-	}
-	_, resp, isReq, err := DecodeMessage(respFrame)
-	if err != nil {
-		return Response{}, false, err
-	}
-	if isReq {
-		return Response{}, false, errors.New("transport: peer answered with a request frame")
-	}
-	return resp, true, nil
+	return exchangeFrames(conn, frame, req.WantReply, addr, &t.stats)
 }
 
-// Close implements Transport. It stops the listener and waits for in-
-// flight connection handlers to finish.
+// Close implements Transport. It stops the listener, unblocks served
+// keep-alive connections and waits for in-flight handlers to finish.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -148,10 +195,94 @@ func (t *TCP) Close() error {
 	}
 	t.closed = true
 	t.mu.Unlock()
+	t.reg.closeAll()
 	err := t.listener.Close()
 	t.wg.Wait()
 	return err
 }
+
+// TransportStats implements StatsReporter.
+func (t *TCP) TransportStats() Stats { return t.stats.snapshot() }
+
+// connRegistry tracks the connections a listener is currently serving so
+// Close can unblock handlers parked in keep-alive reads; without it a
+// shutdown would wait out every peer's idle timer.
+type connRegistry struct {
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+func newConnRegistry() *connRegistry {
+	return &connRegistry{conns: make(map[net.Conn]struct{})}
+}
+
+// add registers conn, reporting false when the registry already shut down
+// (the caller must close the connection instead of serving it).
+func (r *connRegistry) add(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.conns[conn] = struct{}{}
+	return true
+}
+
+func (r *connRegistry) remove(conn net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, conn)
+	r.mu.Unlock()
+}
+
+// closeAll marks the registry closed and closes every tracked connection.
+func (r *connRegistry) closeAll() {
+	r.mu.Lock()
+	r.closed = true
+	conns := make([]net.Conn, 0, len(r.conns))
+	for conn := range r.conns {
+		conns = append(conns, conn)
+	}
+	r.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}
+
+// servePersistent is the shared passive serve loop of the TCP transports:
+// it reads frames from conn and hands them to handleFrame until the peer
+// closes, misbehaves, exceeds the deadline budget, or the registry shuts
+// down. deadlineFor returns the read budget for the next frame (first
+// reports whether it is the connection's opening frame).
+func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistry, deadlineFor func(first bool) time.Duration) {
+	if !reg.add(conn) {
+		conn.Close()
+		return
+	}
+	defer func() {
+		conn.Close()
+		reg.remove(conn)
+	}()
+	first := true
+	for {
+		_ = conn.SetDeadline(time.Now().Add(deadlineFor(first)))
+		first = false
+		frame, err := readFrame(conn)
+		if err != nil {
+			if errors.Is(err, errFrameTooLarge) {
+				stats.dropped.Add(1)
+			}
+			return
+		}
+		stats.noteRead(len(frame) + frameHeaderSize)
+		if !handleFrame(conn, frame, h, stats) {
+			return
+		}
+	}
+}
+
+// frameHeaderSize is the length prefix preceding every TCP frame.
+const frameHeaderSize = 4
 
 // writeFrame writes a u32 length prefix followed by the payload.
 func writeFrame(w io.Writer, payload []byte) error {
@@ -164,6 +295,10 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// errFrameTooLarge marks a length prefix beyond MaxFrameSize so callers
+// can count the discarded frame in Stats.DatagramsDropped.
+var errFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
 // readFrame reads one length-prefixed frame, rejecting oversized payloads.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
@@ -171,8 +306,8 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrameSize {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", errFrameTooLarge, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

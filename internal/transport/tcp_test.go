@@ -155,4 +155,7 @@ func TestTCPRejectsOversizedFrame(t *testing.T) {
 	if _, err := conn.Read(buf); err == nil {
 		t.Error("server kept the connection open after oversized frame")
 	}
+	if stats := server.TransportStats(); stats.DatagramsDropped != 1 {
+		t.Errorf("dropped = %d want 1 (oversized frame must be counted)", stats.DatagramsDropped)
+	}
 }

@@ -1,8 +1,13 @@
 // Package transport provides the message-passing substrate for the
 // asynchronous peer sampling runtime: an abstract Transport interface, an
 // in-memory fabric with configurable latency, loss and partitions (for
-// tests and single-process simulations), and a TCP transport with a
-// compact binary codec (for real deployments).
+// tests and single-process simulations), and three real-network backends
+// sharing one compact binary codec — dial-per-exchange TCP (the simple
+// baseline), connection-pooled TCP (persistent per-peer connections with
+// idle eviction; the production default), and UDP (one exchange per
+// datagram pair; cheapest, lossy by nature). Real backends are named in a
+// registry ("tcp", "tcp-pooled", "udp") so daemons can select one at the
+// command line, and they export wire-level counters via StatsReporter.
 package transport
 
 import (
@@ -37,6 +42,13 @@ type Transport interface {
 	// Exchange delivers req to addr and, when req.WantReply is set,
 	// waits for the peer's response. ok reports whether a response
 	// arrived. Exchange respects ctx cancellation and deadlines.
+	//
+	// Delivery of push-only requests (WantReply false) is best-effort on
+	// every real backend: with no reply to await, a request that reaches
+	// the network but dies with the peer (restart, crash, datagram loss)
+	// is reported as success. The gossip protocols tolerate such loss by
+	// design; callers needing confirmation must use a pull-enabled
+	// exchange.
 	Exchange(ctx context.Context, addr string, req Request) (resp Response, ok bool, err error)
 	// Close releases the endpoint; subsequent exchanges fail and no
 	// further requests are delivered.

@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxDatagramSize bounds one encoded message carried in a single UDP
+// datagram. It is far below the codec's MaxFrameSize: a datagram must
+// traverse real networks unfragmented-ish, so the UDP transport rejects
+// views whose encoding exceeds this rather than silently truncating.
+const MaxDatagramSize = 60 * 1024
+
+// ErrOversized is returned when an encoded message does not fit in one
+// datagram. Callers should shrink the view (lower ViewSize) or switch to
+// a TCP backend.
+var ErrOversized = errors.New("transport: message exceeds datagram size")
+
+// UDP is a Transport carrying one gossip exchange per datagram pair: the
+// request in one datagram and, for pull-enabled exchanges, the response in
+// another. There is no connection state at all, which makes it the
+// cheapest backend per exchange — and, like the underlying network, it is
+// lossy: a dropped datagram surfaces as an ErrUnreachable timeout on the
+// active side, exactly the failure the protocol's self-healing tolerates.
+type UDP struct {
+	conn     *net.UDPConn
+	handler  Handler
+	stats    counters
+	done     chan struct{}
+	closeOne sync.Once
+}
+
+var (
+	_ Transport     = (*UDP)(nil)
+	_ StatsReporter = (*UDP)(nil)
+)
+
+// datagramBufs recycles max-size receive buffers across exchanges; one
+// datagram buffer per in-flight pull keeps the hot path allocation-free.
+// The extra byte detects datagrams truncated at the limit.
+var datagramBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, MaxDatagramSize+1)
+		return &b
+	},
+}
+
+// udpDefaultTimeout bounds an exchange awaiting a response datagram when
+// the caller's context has no earlier deadline. It is deliberately
+// shorter than the TCP timeout: with no connection to establish, a
+// response either arrives promptly or the datagram is gone.
+const udpDefaultTimeout = 2 * time.Second
+
+// ListenUDP starts serving datagrams on addr (e.g. "127.0.0.1:0") with h
+// handling incoming exchanges.
+func ListenUDP(addr string, h Handler) (*UDP, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
+	}
+	t := &UDP{conn: conn, handler: h, done: make(chan struct{})}
+	go t.serve()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *UDP) Addr() string { return t.conn.LocalAddr().String() }
+
+// TransportStats implements StatsReporter.
+func (t *UDP) TransportStats() Stats { return t.stats.snapshot() }
+
+func (t *UDP) serve() {
+	defer close(t.done)
+	// One extra byte detects datagrams truncated at the limit.
+	buf := make([]byte, MaxDatagramSize+1)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n > MaxDatagramSize {
+			t.stats.dropped.Add(1)
+			continue
+		}
+		t.stats.noteRead(n)
+		req, _, isReq, err := DecodeMessage(buf[:n])
+		if err != nil || !isReq {
+			t.stats.dropped.Add(1)
+			continue
+		}
+		resp, ok := t.handler(req)
+		if !ok || !req.WantReply {
+			continue
+		}
+		out, err := EncodeResponse(resp)
+		if err != nil || len(out) > MaxDatagramSize {
+			// The wire has no error frames, so an unencodable or
+			// oversized response can only be dropped and counted. This
+			// node's view is the oversized one, and its own active
+			// exchanges fail with ErrOversized, so the misconfiguration
+			// is loud locally even though the puller just times out.
+			t.stats.dropped.Add(1)
+			continue
+		}
+		if _, err := t.conn.WriteToUDP(out, src); err == nil {
+			t.stats.noteWrite(len(out))
+		}
+	}
+}
+
+// Exchange implements Transport. Each exchange uses a short-lived
+// connected socket so the response datagram (if any) is matched to this
+// exchange by the kernel, with no sequence numbers in the protocol.
+func (t *UDP) Exchange(ctx context.Context, addr string, req Request) (Response, bool, error) {
+	select {
+	case <-t.done:
+		return Response{}, false, ErrClosed
+	default:
+	}
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, false, err
+	}
+	if len(frame) > MaxDatagramSize {
+		return Response{}, false, fmt.Errorf("%w: %d bytes > %d", ErrOversized, len(frame), MaxDatagramSize)
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		deadline = time.Now().Add(udpDefaultTimeout)
+	}
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "udp", addr)
+	if err != nil {
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.stats.dials.Add(1)
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(frame); err != nil {
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.stats.noteWrite(len(frame))
+	if !req.WantReply {
+		return Response{}, false, nil
+	}
+	buf := datagramBufs.Get().(*[]byte)
+	defer datagramBufs.Put(buf)
+	n, err := conn.Read(*buf)
+	if err != nil {
+		// Timeout: the request or response datagram was lost, or the peer
+		// is gone. Indistinguishable by design.
+		t.stats.dropped.Add(1)
+		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	if n > MaxDatagramSize {
+		t.stats.dropped.Add(1)
+		return Response{}, false, fmt.Errorf("%w: response %d bytes", ErrOversized, n)
+	}
+	t.stats.noteRead(n)
+	_, resp, isReq, err := DecodeMessage((*buf)[:n])
+	if err != nil {
+		t.stats.dropped.Add(1)
+		return Response{}, false, err
+	}
+	if isReq {
+		t.stats.dropped.Add(1)
+		return Response{}, false, errors.New("transport: peer answered with a request frame")
+	}
+	return resp, true, nil
+}
+
+// Close implements Transport: it closes the socket and waits for the
+// serve loop to drain. Close is idempotent.
+func (t *UDP) Close() error {
+	var err error
+	t.closeOne.Do(func() { err = t.conn.Close() })
+	<-t.done
+	return err
+}

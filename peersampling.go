@@ -14,7 +14,14 @@
 //     instances Newscast = (rand,head,pushpull) and Lpbcast =
 //     (rand,rand,push);
 //   - an asynchronous runtime (Node) over pluggable transports: an
-//     in-memory fabric with latency/loss/partition injection, and TCP;
+//     in-memory fabric with latency/loss/partition injection for tests
+//     and demos, and three real-network backends — dial-per-exchange TCP
+//     (TCPFactory), connection-pooled TCP with persistent per-peer
+//     connections and idle eviction (PooledTCPFactory, the production
+//     choice), and one-datagram-per-message UDP (UDPFactory). Real
+//     backends share a compact binary codec, keep wire-level counters
+//     (Node.TransportStats) and are selectable by name through
+//     NewTransportFactory / TransportBackends;
 //   - a cycle-based simulator (Simulation) and the complete experimental
 //     methodology of the paper (see internal/scenario and the benchmark
 //     harness at the repository root);
@@ -36,8 +43,12 @@
 //	_ = node.Start()
 //	peer, err := node.GetPeer()
 //
-// For real deployments replace the fabric factory with
-// peersampling.TCPFactory("0.0.0.0:7946").
+// For real deployments replace the fabric factory with a real backend,
+// e.g. peersampling.PooledTCPFactory("10.0.0.5:7946") — or resolve one by
+// name with peersampling.NewTransportFactory("tcp-pooled", "10.0.0.5:7946").
+// The listen address doubles as the node's gossip identity (peers dial the
+// address the node advertises), so bind a concrete address reachable by
+// peers, not the wildcard "0.0.0.0".
 package peersampling
 
 import (
@@ -128,6 +139,12 @@ type (
 	Transport = transport.Transport
 	// TransportFactory builds a node's endpoint around its handler.
 	TransportFactory = transport.Factory
+	// TransportStats is a snapshot of a real backend's wire-level
+	// counters (dials, reuses, bytes in/out, dropped datagrams); see
+	// Node.TransportStats.
+	TransportStats = transport.Stats
+	// PoolConfig tunes the pooled TCP backend (idle cap and timeout).
+	PoolConfig = transport.PoolConfig
 	// Fabric is the in-memory test network.
 	Fabric = transport.Fabric
 	// FabricOption configures a Fabric (latency, loss).
@@ -146,12 +163,50 @@ func FabricLoss(p float64, seed uint64) FabricOption { return transport.WithLoss
 
 // TCPFactory returns a TransportFactory serving real TCP on the given
 // listen address (use "host:0" for an ephemeral port; Node.Addr reports
-// the bound address).
+// the bound address). Every exchange dials a fresh connection; prefer
+// PooledTCPFactory when gossip rates or cluster sizes grow.
 func TCPFactory(listen string) TransportFactory {
 	return func(h transport.Handler) (transport.Transport, error) {
 		return transport.ListenTCP(listen, h)
 	}
 }
+
+// PooledTCPFactory returns a TransportFactory serving TCP with persistent
+// per-peer connections: each exchange reuses a pooled connection instead
+// of dialing, and idle connections are evicted after cfg.IdleTimeout. A
+// zero PoolConfig selects the defaults.
+func PooledTCPFactory(listen string, cfg ...PoolConfig) TransportFactory {
+	var pc PoolConfig
+	if len(cfg) > 0 {
+		pc = cfg[0]
+	}
+	return func(h transport.Handler) (transport.Transport, error) {
+		return transport.ListenPooledTCP(listen, h, pc)
+	}
+}
+
+// UDPFactory returns a TransportFactory carrying one exchange per
+// datagram pair over UDP: the cheapest backend per exchange, with loss
+// surfacing as exchange failures the protocol self-heals around. A node
+// whose view encodes past one datagram gets an error on every exchange it
+// initiates; a response that would not fit is dropped and counted in
+// TransportStats (the wire carries no error frames), which the oversized
+// node's own active errors make diagnosable.
+func UDPFactory(listen string) TransportFactory {
+	return func(h transport.Handler) (transport.Transport, error) {
+		return transport.ListenUDP(listen, h)
+	}
+}
+
+// NewTransportFactory resolves a registered backend name ("tcp",
+// "tcp-pooled", "udp") to a TransportFactory bound to the listen address.
+func NewTransportFactory(name, listen string) (TransportFactory, error) {
+	return transport.NewFactory(name, listen)
+}
+
+// TransportBackends returns the sorted names of the registered
+// real-network transport backends.
+func TransportBackends() []string { return transport.Backends() }
 
 // Simulation (re-exported from internal/sim) for experimentation at scale
 // without real sockets or timers.

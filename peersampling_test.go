@@ -141,3 +141,80 @@ func TestFacadeTCPFactory(t *testing.T) {
 		t.Errorf("TCP address not resolved: %q", node.Addr())
 	}
 }
+
+// TestFacadeRealBackendsGossip runs a small gossip cluster over every
+// registered wire backend and checks views converge and wire counters
+// advance.
+func TestFacadeRealBackendsGossip(t *testing.T) {
+	factories := map[string]func() peersampling.TransportFactory{
+		"tcp":        func() peersampling.TransportFactory { return peersampling.TCPFactory("127.0.0.1:0") },
+		"tcp-pooled": func() peersampling.TransportFactory { return peersampling.PooledTCPFactory("127.0.0.1:0") },
+		"udp":        func() peersampling.TransportFactory { return peersampling.UDPFactory("127.0.0.1:0") },
+	}
+	for name, mk := range factories {
+		t.Run(name, func(t *testing.T) {
+			var nodes []*peersampling.Node
+			for i := 0; i < 4; i++ {
+				n, err := peersampling.NewNode(peersampling.NodeConfig{
+					Protocol: peersampling.Newscast(),
+					ViewSize: 4,
+					Period:   time.Hour,
+					Seed:     uint64(i) + 1,
+				}, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer n.Close()
+				nodes = append(nodes, n)
+			}
+			for i, n := range nodes {
+				if err := n.Init([]string{nodes[(i+1)%len(nodes)].Addr()}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for c := 0; c < 10; c++ {
+				for _, n := range nodes {
+					n.Tick()
+				}
+			}
+			for _, n := range nodes {
+				if len(n.View()) < len(nodes)-1 {
+					t.Errorf("%s view has %d entries want %d", n.Addr(), len(n.View()), len(nodes)-1)
+				}
+				stats, ok := n.TransportStats()
+				if !ok {
+					t.Fatalf("%s backend reports no transport stats", name)
+				}
+				if stats.BytesOut == 0 || stats.BytesIn == 0 {
+					t.Errorf("%s wire counters flat: %+v", name, stats)
+				}
+				if name == "tcp-pooled" && stats.Reuses == 0 {
+					t.Errorf("pooled backend never reused a connection: %+v", stats)
+				}
+			}
+		})
+	}
+}
+
+func TestFacadeTransportRegistry(t *testing.T) {
+	names := peersampling.TransportBackends()
+	if len(names) < 3 {
+		t.Fatalf("backends = %v", names)
+	}
+	factory, err := peersampling.NewTransportFactory("tcp-pooled", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := peersampling.NewNode(peersampling.NodeConfig{
+		Protocol: peersampling.Newscast(),
+		ViewSize: 4,
+		Period:   time.Hour,
+	}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := peersampling.NewTransportFactory("nope", "127.0.0.1:0"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
