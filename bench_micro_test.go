@@ -188,6 +188,36 @@ func BenchmarkTCPExchangeDial(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPExchangeDialHardened is BenchmarkTCPExchangeDial with an
+// explicit (tight) connection cap on the server, so every accept passes
+// through the hardening gate; the delta against the unhardened dial
+// benchmark is the accept-path overhead of the Limits layer.
+func BenchmarkTCPExchangeDialHardened(b *testing.B) {
+	server, err := transport.ListenTCPLimits("127.0.0.1:0", benchEchoHandler,
+		transport.Limits{MaxConns: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := transport.ListenTCP("127.0.0.1:0", benchEchoHandler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	req := benchWireRequest(client.Addr())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := client.Exchange(ctx, server.Addr(), req); err != nil || !ok {
+			b.Fatalf("exchange: %v ok=%v", err, ok)
+		}
+	}
+	b.StopTimer()
+	stats := server.TransportStats()
+	b.ReportMetric(float64(stats.AcceptRejects), "rejects")
+}
+
 // BenchmarkTCPExchangePooled measures the same exchange over pooled
 // persistent connections; the delta against BenchmarkTCPExchangeDial is
 // the per-exchange dial cost the pool amortises away.

@@ -8,7 +8,10 @@
 //
 // Scales: quick (N=500), medium (N=2500), full (the paper's N=10^4,
 // c=30, 300 cycles, 100 repetitions). Experiment IDs: table1, figure2,
-// figure3, figure4, table2, figure5, figure6, figure7, exclusion.
+// figure3, figure4, table2, figure5, figure6, figure7, exclusion,
+// uniformity, churn, ablation, plus the live-socket extension "hostile"
+// (connection flood + slowloris against a real cluster — the one
+// experiment whose numbers are timing-dependent rather than seeded).
 package main
 
 import (

@@ -10,8 +10,16 @@
 //	psnode -listen 127.0.0.1:7946
 //	psnode -listen 127.0.0.1:7947 -contacts 127.0.0.1:7946 -transport udp
 //
+// The listener is hardened against hostile networks: -max-conns caps the
+// connections served concurrently (excess accepts are closed and counted)
+// and -keepalive sets the read budget a served connection earns after its
+// first pull; peers that only ever push get 3/4 of it, and a connection
+// that never sends its opening frame is dropped at the slowloris window.
+// Zero values select the library defaults (1024 conns, 2m keep-alive).
+//
 // Every -report interval the daemon prints its current view, a getPeer()
-// sample and wire-level transport counters. Stop with SIGINT/SIGTERM.
+// sample and wire-level transport counters (including rejected and
+// evicted connections). Stop with SIGINT/SIGTERM.
 package main
 
 import (
@@ -41,6 +49,10 @@ func main() {
 		period    = flag.Duration("period", time.Second, "gossip period T")
 		report    = flag.Duration("report", 5*time.Second, "view report interval")
 		diverse   = flag.Bool("diverse", false, "diversity-maximising getPeer")
+		maxConns  = flag.Int("max-conns", 0,
+			"max connections served concurrently (0 = default 1024, negative = unlimited)")
+		keepalive = flag.Duration("keepalive", 0,
+			"keep-alive budget for served connections that pull (0 = default 2m; push-only peers get 3/4 of it)")
 	)
 	flag.Parse()
 
@@ -48,7 +60,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	factory, err := peersampling.NewTransportFactory(*backend, *listen)
+	factory, err := peersampling.NewTransportFactoryLimits(*backend, *listen, peersampling.TransportLimits{
+		MaxConns:  *maxConns,
+		KeepAlive: *keepalive,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,8 +112,9 @@ func main() {
 			log.Printf("view(%d): %s", len(view), strings.Join(entries, " "))
 			log.Printf("stats: cycles=%d exchanges=%d failures=%d served=%d", cycles, exchanges, failures, handled)
 			if ts, ok := node.TransportStats(); ok {
-				log.Printf("wire: dials=%d reuses=%d out=%dB in=%dB dropped=%d",
-					ts.Dials, ts.Reuses, ts.BytesOut, ts.BytesIn, ts.DatagramsDropped)
+				log.Printf("wire: dials=%d reuses=%d out=%dB in=%dB dropped=%d rejects=%d evictions=%d",
+					ts.Dials, ts.Reuses, ts.BytesOut, ts.BytesIn, ts.DatagramsDropped,
+					ts.AcceptRejects, ts.KeepAliveEvictions)
 			}
 			if peer, err := node.GetPeer(); err == nil {
 				log.Printf("getPeer() -> %s", peer)

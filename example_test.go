@@ -1,0 +1,85 @@
+package peersampling_test
+
+import (
+	"fmt"
+	"time"
+
+	"peersampling"
+)
+
+// Example_quickstart runs a two-node cluster on the in-memory fabric —
+// the smallest complete use of the paper's init()/getPeer() API. Swap the
+// fabric factory for PooledTCPFactory (or NewTransportFactory) to take
+// the identical code onto a real network.
+func Example_quickstart() {
+	fabric := peersampling.NewFabric()
+	cfg := peersampling.NodeConfig{
+		Protocol: peersampling.Newscast(), // (rand,head,pushpull)
+		ViewSize: 30,
+		Period:   time.Second,
+		Seed:     1, // fixed seed only so the example output is stable
+	}
+	factory := fabric.Factory("node")
+
+	a, err := peersampling.NewNode(cfg, factory)
+	if err != nil {
+		panic(err)
+	}
+	defer a.Close()
+	b, err := peersampling.NewNode(cfg, factory)
+	if err != nil {
+		panic(err)
+	}
+	defer b.Close()
+
+	// Bootstrap b from a (the paper's init), then run a few gossip cycles.
+	// A real deployment calls Start() and lets the period timer drive
+	// this; Tick() is the same cycle, synchronously.
+	if err := b.Init([]string{a.Addr()}); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.Tick()
+		a.Tick()
+	}
+
+	// getPeer: a uniform sample from the continuously refreshed view.
+	peerOfA, _ := a.GetPeer()
+	peerOfB, _ := b.GetPeer()
+	fmt.Println(peerOfA, peerOfB)
+	// Output: node-1 node-0
+}
+
+// ExampleNode_TransportStats shows the wire-level counters a real backend
+// keeps: dials, pooled-connection reuses, bytes moved, and the hardening
+// counters (connections rejected at the Limits cap, keep-alive
+// evictions). The in-memory fabric keeps no counters, which the second
+// return value reports.
+func ExampleNode_TransportStats() {
+	cfg := peersampling.NodeConfig{
+		Protocol: peersampling.Newscast(),
+		ViewSize: 30,
+		Period:   time.Second,
+		Seed:     1,
+	}
+	server, err := peersampling.NewNode(cfg, peersampling.TCPFactory("127.0.0.1:0"))
+	if err != nil {
+		panic(err)
+	}
+	defer server.Close()
+	client, err := peersampling.NewNode(cfg, peersampling.TCPFactory("127.0.0.1:0",
+		peersampling.TransportLimits{MaxConns: 64}))
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	if err := client.Init([]string{server.Addr()}); err != nil {
+		panic(err)
+	}
+	client.Tick() // one real pushpull exchange over loopback TCP
+
+	stats, ok := client.TransportStats()
+	fmt.Println(ok, stats.Dials, stats.AcceptRejects)
+	// Output: true 1 0
+}

@@ -1,0 +1,16 @@
+// Package graph provides the graph-theoretic analysis substrate used to
+// evaluate peer sampling overlays: degree statistics, clustering
+// coefficients, path lengths, connected components, catastrophic-failure
+// sweeps and the uniform-random-view baseline the paper compares against.
+//
+// All functions operate on the undirected communication graph derived from
+// the directed "knows-about" relation, following Section 4.2 of the paper:
+// if node a holds a descriptor of node b, the undirected edge {a,b} is
+// present.
+//
+// The expensive metrics scale with explicit estimator knobs rather than
+// silently sampling: path lengths BFS from a configurable number of
+// sources and clustering coefficients average over a configurable node
+// sample (see internal/sim.MetricsConfig), so a quick run and a
+// paper-scale run differ only in variance, not in definition.
+package graph

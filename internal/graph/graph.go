@@ -1,12 +1,3 @@
-// Package graph provides the graph-theoretic analysis substrate used to
-// evaluate peer sampling overlays: degree statistics, clustering
-// coefficients, path lengths, connected components, catastrophic-failure
-// sweeps and the uniform-random-view baseline the paper compares against.
-//
-// All functions operate on the undirected communication graph derived from
-// the directed "knows-about" relation, following Section 4.2 of the paper:
-// if node a holds a descriptor of node b, the undirected edge {a,b} is
-// present.
 package graph
 
 import (

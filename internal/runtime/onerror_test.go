@@ -1,0 +1,86 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/transport"
+)
+
+// TestOnErrorConcurrentAndReentrant proves the documented Config.OnError
+// contract under the race detector, using no mutex anywhere in the
+// callback: OnError is invoked concurrently from both threads of control
+// (the node's own active thread and direct Tick callers), and it may call
+// back into the node because it runs outside the node's locks.
+func TestOnErrorConcurrentAndReentrant(t *testing.T) {
+	fabric := transport.NewFabric()
+	var (
+		calls     atomic.Uint64 // mutex-free shared state, as the contract allows
+		reentered atomic.Uint64
+	)
+	var node *Node
+	cfg := Config{
+		Protocol: core.Newscast,
+		ViewSize: 8,
+		Period:   time.Millisecond,
+		Seed:     7,
+		OnError: func(err error) {
+			if err == nil {
+				t.Error("OnError called with nil error")
+			}
+			calls.Add(1)
+			// Re-enter the node: this deadlocks if the runtime ever invokes
+			// OnError while holding the node's state lock.
+			if len(node.View()) > 0 {
+				reentered.Add(1)
+			}
+			if _, _, _, handled := node.Stats(); handled > 0 {
+				t.Error("passive exchanges served by a node whose only peer is a ghost")
+			}
+		},
+	}
+	n, err := New(cfg, fabric.Factory("lonely"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node = n
+	defer node.Close()
+	// The only contact never registers an endpoint, so every exchange
+	// fails and every cycle reports through OnError.
+	if err := node.Init([]string{"ghost"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Thread one: the active thread started by the node itself.
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Threads two..N: concurrent direct Tick drivers.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				node.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All direct ticks failed (200 of them), plus whatever the active
+	// thread managed; the callback must have observed every failure.
+	if got := calls.Load(); got < 200 {
+		t.Fatalf("OnError calls = %d, want >= 200", got)
+	}
+	if reentered.Load() == 0 {
+		t.Fatal("OnError never managed to re-enter the node")
+	}
+	_, _, failures, _ := node.Stats()
+	if failures < 200 {
+		t.Fatalf("failures = %d, want >= 200", failures)
+	}
+}

@@ -50,6 +50,15 @@ type Config struct {
 	Diverse bool
 	// OnError, when set, observes failed exchanges (unreachable peers,
 	// timeouts). Errors are expected during churn and never fatal.
+	//
+	// Concurrency contract: OnError may be called concurrently from both
+	// threads of control that drive exchanges — the node's own active
+	// thread (started by Start) and any goroutine calling Tick directly —
+	// and a Combined service whose two instances share one callback adds
+	// two more. Implementations must therefore be safe for concurrent use
+	// (an atomic counter suffices; no external locking is provided). The
+	// callback is invoked with no node locks held, so it may call back
+	// into the node (View, Stats, GetPeer) without deadlocking.
 	OnError func(error)
 }
 
@@ -273,10 +282,12 @@ func (n *Node) Tick() {
 	resp, ok, err := n.transport.Exchange(ctx, peer, req)
 
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if err != nil {
 		n.failures++
 		n.state.OnExchangeFailed(peer)
+		n.mu.Unlock()
+		// Invoked outside the node lock so the callback may call back into
+		// the node; see the Config.OnError contract.
 		if n.cfg.OnError != nil {
 			n.cfg.OnError(fmt.Errorf("runtime: exchange with %s: %w", peer, err))
 		}
@@ -286,6 +297,7 @@ func (n *Node) Tick() {
 	if ok {
 		n.state.HandleResponse(resp)
 	}
+	n.mu.Unlock()
 }
 
 // handleRequest is the passive thread, invoked by the transport.

@@ -212,8 +212,8 @@ func TestForEachPar(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	defs := All()
-	if len(defs) != 12 {
-		t.Fatalf("registry has %d entries want 12", len(defs))
+	if len(defs) != 13 {
+		t.Fatalf("registry has %d entries want 13", len(defs))
 	}
 	ids := map[string]bool{}
 	for _, d := range defs {

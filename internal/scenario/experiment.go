@@ -43,6 +43,7 @@ func All() []Def {
 		{"exclusion", "Section 4.3: why (head,*,*), (*,tail,*), (*,*,pull) are excluded", func(sc Scale, seed uint64) Result { return RunExclusion(sc, seed) }},
 		{"uniformity", "Sampling quality: getPeer() versus independent uniform sampling", func(sc Scale, seed uint64) Result { return RunUniformity(sc, seed) }},
 		{"churn", "Extension: steady-state behaviour under continuous churn", func(sc Scale, seed uint64) Result { return RunChurn(sc, seed) }},
+		{"hostile", "Extension: live cluster under connection flood and slowloris", func(sc Scale, seed uint64) Result { return RunHostile(sc, seed) }},
 		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }},
 	}
 }

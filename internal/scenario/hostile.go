@@ -1,0 +1,278 @@
+package scenario
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/runtime"
+	"peersampling/internal/transport"
+)
+
+// The hostile-network experiment runs a LIVE runtime cluster over real
+// loopback TCP — unlike the cycle-based experiments, it exercises the
+// transport's hardening layer (connection caps, keep-alive budgets)
+// against the two classic resource attacks the limits exist for:
+//
+//   - connection flood: attackers dial the victim as fast as they can and
+//     hold whatever they get; without a cap this exhausts fds and
+//     goroutines before the gossip layer sees a frame.
+//   - slowloris: admitted connections never send their opening frame,
+//     holding a serve slot until the first-frame window expires.
+//
+// The claim under test is the ROADMAP's: bounded resource use at the
+// listener, with the overlay above it still converging. Timings (and
+// therefore the exact counter values) are real-network nondeterministic;
+// the invariants reported — rejects observed, evictions reclaiming slots,
+// views still complete — are not.
+
+// hostileParams derives live-cluster parameters from a simulation Scale:
+// the cluster is necessarily much smaller than the paper's 10^4 (every
+// node owns a real listener), growing mildly with the scale.
+type hostileParams struct {
+	Nodes     int           // live cluster size
+	ViewSize  int           // view capacity, capped below cluster size
+	MaxConns  int           // victim's listener cap, deliberately tight
+	KeepAlive time.Duration // full keep-alive budget (shrunken budgets derive)
+	Period    time.Duration // gossip period T
+	Attack    time.Duration // flood duration
+	Flooders  int           // concurrent attacker goroutines
+}
+
+func hostileDerive(sc Scale) hostileParams {
+	nodes := sc.N / 50
+	if nodes < 8 {
+		nodes = 8
+	}
+	if nodes > 24 {
+		nodes = 24
+	}
+	view := sc.ViewSize
+	if view > nodes-1 {
+		view = nodes - 1
+	}
+	return hostileParams{
+		Nodes:     nodes,
+		ViewSize:  view,
+		MaxConns:  nodes, // tight: the flood WILL hit the cap
+		KeepAlive: 400 * time.Millisecond,
+		Period:    20 * time.Millisecond,
+		Attack:    1500 * time.Millisecond,
+		Flooders:  3,
+	}
+}
+
+// HostileResult reports the hostile-network experiment: listener counters
+// on the attacked node and overlay health across the cluster.
+type HostileResult struct {
+	Params hostileParams
+
+	FloodDials uint64 // connections the attackers opened (or tried)
+	// Victim listener counters over the whole run.
+	AcceptRejects      uint64
+	KeepAliveEvictions uint64
+	// VictimExchanges counts active exchanges the victim completed while
+	// under attack — its outbound gossip does not pass through its own
+	// listener, so it must keep making progress.
+	VictimExchanges uint64
+	// CompleteViews counts nodes whose post-attack view contains every
+	// other live node (the strongest convergence statement a cluster
+	// smaller than its view capacity admits).
+	CompleteViews int
+	// StrayDescriptors counts view entries pointing at addresses that are
+	// not cluster members — attackers never inject any, so this must be 0.
+	StrayDescriptors int
+}
+
+// ID implements Result.
+func (r *HostileResult) ID() string { return "hostile" }
+
+// Converged reports whether every node's view survived the attack
+// complete and uncontaminated.
+func (r *HostileResult) Converged() bool {
+	return r.CompleteViews == r.Params.Nodes && r.StrayDescriptors == 0
+}
+
+// Render implements Result.
+func (r *HostileResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hostile network: connection flood + slowloris against a live cluster\n")
+	fmt.Fprintf(&b, "cluster: %d nodes, c=%d, T=%v, tcp backend, max-conns=%d, keepalive=%v\n",
+		r.Params.Nodes, r.Params.ViewSize, r.Params.Period, r.Params.MaxConns, r.Params.KeepAlive)
+	fmt.Fprintf(&b, "attack: %d flooders for %v -> %d connections thrown at one node\n",
+		r.Params.Flooders, r.Params.Attack, r.FloodDials)
+	fmt.Fprintf(&b, "%-34s %10s\n", "", "value")
+	fmt.Fprintf(&b, "%-34s %10d\n", "accepts rejected at the cap", r.AcceptRejects)
+	fmt.Fprintf(&b, "%-34s %10d\n", "slowloris conns evicted", r.KeepAliveEvictions)
+	fmt.Fprintf(&b, "%-34s %10d\n", "victim exchanges during attack", r.VictimExchanges)
+	fmt.Fprintf(&b, "%-34s %7d/%2d\n", "complete views after attack", r.CompleteViews, r.Params.Nodes)
+	fmt.Fprintf(&b, "%-34s %10d\n", "stray view entries", r.StrayDescriptors)
+	fmt.Fprintf(&b, "converged under attack: %v\n", r.Converged())
+	return b.String()
+}
+
+// RunHostile builds a live runtime cluster on loopback TCP in which EVERY
+// listener runs the same tight limits (cap of Nodes conns, sub-second
+// keep-alive — proving legitimate gossip fits under hostile-grade caps),
+// attacks one node with a connection flood whose connections double as
+// slowloris peers (they never send a frame), and measures whether the
+// hardening holds: rejects at the cap, evictions reclaiming slots, and
+// the overlay above still converging. The seed drives protocol
+// randomness only; socket timing is inherently real.
+func RunHostile(sc Scale, seed uint64) *HostileResult {
+	p := hostileDerive(sc)
+	res := &HostileResult{Params: p}
+
+	lim := transport.Limits{MaxConns: p.MaxConns, KeepAlive: p.KeepAlive}
+	nodes := make([]*runtime.Node, 0, p.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for i := 0; i < p.Nodes; i++ {
+		factory, err := transport.NewFactoryLimits("tcp", "127.0.0.1:0", lim)
+		if err != nil {
+			panic(err) // registry always knows "tcp"
+		}
+		n, err := runtime.New(runtime.Config{
+			Protocol: core.Newscast,
+			ViewSize: p.ViewSize,
+			Period:   p.Period,
+			Seed:     mix(seed, i),
+		}, factory)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: hostile cluster node %d: %v", i, err))
+		}
+		nodes = append(nodes, n)
+	}
+	live := make(map[string]bool, p.Nodes)
+	for _, n := range nodes {
+		live[n.Addr()] = true
+	}
+	victim := nodes[0]
+	for i, n := range nodes {
+		if i > 0 {
+			_ = n.Init([]string{victim.Addr()})
+		}
+		_ = n.Start()
+	}
+
+	// Let the overlay converge before the attack (bounded wait).
+	waitComplete := func(timeout time.Duration) int {
+		deadline := time.Now().Add(timeout)
+		for {
+			complete := 0
+			for _, n := range nodes {
+				if countKnownPeers(n, live) == p.Nodes-1 {
+					complete++
+				}
+			}
+			if complete == p.Nodes || time.Now().After(deadline) {
+				return complete
+			}
+			time.Sleep(p.Period)
+		}
+	}
+	waitComplete(20 * p.Period * time.Duration(p.Nodes))
+
+	// Attack: flooders dial the victim and hold everything they get open
+	// without ever writing a byte — each admitted connection is a
+	// slowloris occupying a serve slot until the first-frame window
+	// evicts it, and everything beyond the cap is rejected on accept.
+	_, victimBefore, _, _ := victim.Stats()
+	stopAttack := make(chan struct{})
+	var dials atomic.Uint64
+	var attackers sync.WaitGroup
+	for f := 0; f < p.Flooders; f++ {
+		attackers.Add(1)
+		go func() {
+			defer attackers.Done()
+			// Slowloris arm: a batch of connections held silent for the
+			// whole attack. The admitted ones sit on a serve slot until the
+			// first-frame window expires and the listener evicts them.
+			loris := make([]net.Conn, 0, 8)
+			defer func() {
+				for _, c := range loris {
+					c.Close()
+				}
+			}()
+			for len(loris) < cap(loris) {
+				c, err := net.DialTimeout("tcp", victim.Addr(), time.Second)
+				dials.Add(1)
+				if err != nil {
+					break
+				}
+				loris = append(loris, c)
+			}
+			// Flood arm: dial as fast as possible, recycling our own fds.
+			held := make([]net.Conn, 0, 64)
+			defer func() {
+				for _, c := range held {
+					c.Close()
+				}
+			}()
+			for {
+				select {
+				case <-stopAttack:
+					return
+				default:
+				}
+				c, err := net.DialTimeout("tcp", victim.Addr(), time.Second)
+				dials.Add(1)
+				if err != nil {
+					continue // kernel backlog full: the flood saturating itself
+				}
+				held = append(held, c)
+				if len(held) == cap(held) {
+					// Recycle our own fds; the server has long since closed
+					// (rejected or evicted) most of these anyway.
+					for _, old := range held[:32] {
+						old.Close()
+					}
+					held = append(held[:0], held[32:]...)
+				}
+			}
+		}()
+	}
+	time.Sleep(p.Attack)
+	close(stopAttack)
+	attackers.Wait()
+	_, victimAfter, _, _ := victim.Stats()
+
+	// Post-attack: give the overlay a short settle window, then measure.
+	waitComplete(10 * p.Period * time.Duration(p.Nodes))
+	res.FloodDials = dials.Load()
+	if ts, ok := victim.TransportStats(); ok {
+		res.AcceptRejects = ts.AcceptRejects
+		res.KeepAliveEvictions = ts.KeepAliveEvictions
+	}
+	res.VictimExchanges = victimAfter - victimBefore
+	for _, n := range nodes {
+		if countKnownPeers(n, live) == p.Nodes-1 {
+			res.CompleteViews++
+		}
+		for _, d := range n.View() {
+			if !live[d.Addr] {
+				res.StrayDescriptors++
+			}
+		}
+	}
+	return res
+}
+
+// countKnownPeers returns how many distinct live cluster members appear
+// in n's view.
+func countKnownPeers(n *runtime.Node, live map[string]bool) int {
+	seen := make(map[string]bool)
+	for _, d := range n.View() {
+		if live[d.Addr] && d.Addr != n.Addr() {
+			seen[d.Addr] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,22 @@
+// Package sim is the cycle-based simulation substrate on which the
+// paper's experiments run (the equivalent of the authors' simulator, a
+// precursor of PeerSim).
+//
+// Time advances in cycles. In each cycle every live node initiates exactly
+// one exchange, in a fresh uniform random order; exchanges are atomic —
+// the initiator's request and the peer's optional response are applied
+// back-to-back with no in-flight state. Node joins take effect between
+// cycles and node failures leave dangling descriptors ("dead links") in
+// the views of live nodes, exactly as the paper's self-healing experiments
+// require: a failed contact changes no state at the initiator.
+//
+// The simulator and the deployable runtime (internal/runtime) execute the
+// SAME protocol state machine (internal/core); what differs is the
+// environment around it. Here a cycle is a synchronous barrier and every
+// run is bit-for-bit reproducible from its seed, which is what makes
+// paper-scale experiments (10^4 nodes, 300 cycles, 100 repetitions)
+// tractable; the runtime replaces the barrier with real timers, real
+// sockets and real concurrency. Results transfer between the two because
+// a runtime period T plays the role of one simulated cycle (the paper's
+// own equivalence, Section 3).
+package sim

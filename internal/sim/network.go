@@ -1,14 +1,3 @@
-// Package sim is the cycle-based simulation substrate on which the
-// paper's experiments run (the equivalent of the authors' simulator, a
-// precursor of PeerSim).
-//
-// Time advances in cycles. In each cycle every live node initiates exactly
-// one exchange, in a fresh uniform random order; exchanges are atomic —
-// the initiator's request and the peer's optional response are applied
-// back-to-back with no in-flight state. Node joins take effect between
-// cycles and node failures leave dangling descriptors ("dead links") in
-// the views of live nodes, exactly as the paper's self-healing experiments
-// require: a failed contact changes no state at the initiator.
 package sim
 
 import (

@@ -1,0 +1,12 @@
+// Package stats provides the small statistical toolkit used by the
+// experimental methodology: summary statistics, the paper's degree
+// autocorrelation measure (Section 4.4's evolution of individual node
+// degrees), frequency tables for degree distributions (Figure 4), uniform
+// sampling diagnostics (chi-square against the uniform expectation, used
+// to judge getPeer() quality), and per-cycle time series recording for
+// the dynamics figures.
+//
+// Everything here is deterministic arithmetic over recorded observations;
+// randomness lives with the callers (internal/sim, internal/scenario) so
+// that an experiment's statistics are a pure function of its trace.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the small statistical toolkit used by the
-// experimental methodology: summary statistics, the paper's degree
-// autocorrelation measure, frequency tables for degree distributions, and
-// per-cycle time series recording.
 package stats
 
 import (

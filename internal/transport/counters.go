@@ -25,6 +25,18 @@ type Stats struct {
 	// exchanges that timed out awaiting a response datagram — the
 	// client-visible face of a lost request or reply.
 	DatagramsDropped uint64
+	// AcceptRejects counts inbound work refused at the Limits.MaxConns
+	// cap: TCP connections closed straight after accept, and UDP
+	// datagrams dropped because every handler slot was busy. A non-zero
+	// value under normal load means the cap is too low for the cluster;
+	// under attack it is the hardening doing its job.
+	AcceptRejects uint64
+	// KeepAliveEvictions counts served TCP connections closed because the
+	// peer exceeded a read budget: never sent an opening frame within
+	// Limits.FirstFrameTimeout (slowloris), or idled past its earned
+	// keep-alive (Limits.KeepAlive after a pull, Limits.PushOnlyKeepAlive
+	// otherwise). Always zero on UDP.
+	KeepAliveEvictions uint64
 }
 
 // StatsReporter is implemented by transports that keep wire-level
@@ -36,24 +48,28 @@ type StatsReporter interface {
 // counters is the atomic backing store shared by the TCP, pooled-TCP and
 // UDP transports. The zero value is ready to use.
 type counters struct {
-	dials     atomic.Uint64
-	reuses    atomic.Uint64
-	bytesOut  atomic.Uint64
-	bytesIn   atomic.Uint64
-	framesOut atomic.Uint64
-	framesIn  atomic.Uint64
-	dropped   atomic.Uint64
+	dials         atomic.Uint64
+	reuses        atomic.Uint64
+	bytesOut      atomic.Uint64
+	bytesIn       atomic.Uint64
+	framesOut     atomic.Uint64
+	framesIn      atomic.Uint64
+	dropped       atomic.Uint64
+	acceptRejects atomic.Uint64
+	kaEvictions   atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Dials:            c.dials.Load(),
-		Reuses:           c.reuses.Load(),
-		BytesOut:         c.bytesOut.Load(),
-		BytesIn:          c.bytesIn.Load(),
-		FramesOut:        c.framesOut.Load(),
-		FramesIn:         c.framesIn.Load(),
-		DatagramsDropped: c.dropped.Load(),
+		Dials:              c.dials.Load(),
+		Reuses:             c.reuses.Load(),
+		BytesOut:           c.bytesOut.Load(),
+		BytesIn:            c.bytesIn.Load(),
+		FramesOut:          c.framesOut.Load(),
+		FramesIn:           c.framesIn.Load(),
+		DatagramsDropped:   c.dropped.Load(),
+		AcceptRejects:      c.acceptRejects.Load(),
+		KeepAliveEvictions: c.kaEvictions.Load(),
 	}
 }
 

@@ -1,0 +1,42 @@
+// Package transport provides the message-passing substrate for the
+// asynchronous peer sampling runtime: an abstract Transport interface, an
+// in-memory fabric with configurable latency, loss and partitions (for
+// tests and single-process simulations), and three real-network backends
+// sharing one compact binary codec — dial-per-exchange TCP (the simple
+// baseline), connection-pooled TCP (persistent per-peer connections with
+// idle eviction; the production default), and UDP (one exchange per
+// datagram pair; cheapest, lossy by nature). Real backends are named in a
+// registry ("tcp", "tcp-pooled", "udp") so daemons can select one at the
+// command line, and they export wire-level counters via StatsReporter.
+//
+// # Hardening against hostile networks
+//
+// The paper evaluates its protocols under catastrophic failure; this
+// package makes the transport underneath survive adversarial load, since
+// sampling-layer guarantees only hold while the listener still has file
+// descriptors and goroutines to serve legitimate peers with. Every real
+// backend takes a Limits:
+//
+//   - Limits.MaxConns caps how many accepted connections a listener
+//     serves concurrently. Excess connections are closed on accept and
+//     counted in Stats.AcceptRejects — backpressure instead of one
+//     goroutine per accept, so a connection flood saturates a counter,
+//     not the process. On UDP the cap bounds concurrent handler
+//     goroutines instead (datagrams have no connections).
+//   - Served TCP connections live under a read budget: a short window
+//     for the opening frame (slowloris eviction), then a keep-alive that
+//     the connection earns — the full Limits.KeepAlive once it has
+//     initiated a pull, and only the shrunken Limits.PushOnlyKeepAlive
+//     while it has merely pushed, because a peer that consumes a serve
+//     slot without ever asking for data is what a resource-holding
+//     attack looks like. Budget expiries are counted in
+//     Stats.KeepAliveEvictions.
+//
+// The keep-alive schedule interlocks with the connection pool: pooled
+// initiators abandon idle connections within PoolConfig.IdleTimeout, and
+// the default passive budgets exceed it, so the serving side never closes
+// a connection a well-behaved peer might still write a push into. See
+// Limits.KeepAlive for the exact contract when tuning below the defaults,
+// and internal/scenario's "hostile" experiment for the live attack drill
+// that exercises all of this against a real cluster.
+package transport

@@ -30,11 +30,15 @@ type PoolConfig struct {
 	// IdleTimeout evicts pooled connections unused for this long. Values
 	// above DefaultIdleTimeout (or below a millisecond) are rejected at
 	// construction: the passive side of every TCP backend keeps served
-	// connections for twice the DEFAULT idle timeout, and the initiating
-	// side abandoning a connection within the default window is what
-	// guarantees a push is never written into a connection the peer has
-	// already closed.
+	// connections for (by default) twice the DEFAULT idle timeout, and the
+	// initiating side abandoning a connection within the default window is
+	// what guarantees a push is never written into a connection the peer
+	// has already closed.
 	IdleTimeout time.Duration
+	// Limits hardens the listener side (connection cap, keep-alive
+	// budgets); the zero value selects the defaults. It bounds what this
+	// endpoint serves, not what it dials.
+	Limits Limits
 }
 
 func (c *PoolConfig) fill() error {
@@ -54,16 +58,17 @@ func (c *PoolConfig) fill() error {
 		return fmt.Errorf("transport: pool idle timeout %v exceeds the %v maximum (peers only keep served connections for twice that long)",
 			c.IdleTimeout, DefaultIdleTimeout)
 	}
-	return nil
+	return c.Limits.fill()
 }
 
 // PooledTCP is a Transport over persistent TCP connections. Unlike TCP,
 // which dials a fresh connection per exchange, it keeps a small pool of
 // connections per peer and runs many length-prefixed request/response
 // exchanges over each one, amortising the dial (and kernel connection
-// setup) across the node's lifetime. Idle connections are evicted after
-// PoolConfig.IdleTimeout, and the passive side serves frames in a loop
-// until its peer goes quiet for the same duration.
+// setup) across the node's lifetime. Idle outbound connections are
+// evicted after PoolConfig.IdleTimeout, and the passive side serves
+// frames in a loop until its peer goes quiet for its earned keep-alive
+// budget (PoolConfig.Limits).
 type PooledTCP struct {
 	listener net.Listener
 	handler  Handler
@@ -126,23 +131,13 @@ func (t *PooledTCP) TransportStats() Stats { return t.stats.snapshot() }
 
 func (t *PooledTCP) serve() {
 	defer t.wg.Done()
-	for {
-		conn, err := t.listener.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		t.wg.Add(1)
-		go func() {
-			defer t.wg.Done()
-			t.serveConn(conn)
-		}()
-	}
+	acceptLoop(t.listener, newConnGate(t.cfg.Limits.MaxConns, &t.stats.acceptRejects), &t.wg, t.serveConn)
 }
 
-// serveConn is the passive side of a persistent connection; the deadline
-// schedule (shared with the plain TCP backend) is keepAliveDeadline's.
+// serveConn is the passive side of a persistent connection; the budget
+// schedule (shared with the plain TCP backend) is Limits.budget's.
 func (t *PooledTCP) serveConn(conn net.Conn) {
-	servePersistent(conn, t.handler, &t.stats, t.reg, keepAliveDeadline)
+	servePersistent(conn, t.handler, &t.stats, t.reg, &t.cfg.Limits)
 }
 
 // Exchange implements Transport. It borrows a pooled connection to addr

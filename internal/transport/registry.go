@@ -6,11 +6,12 @@ import (
 	"sync"
 )
 
-// Builder constructs a Factory serving real traffic on a listen address.
-// It is the registration unit of the backend registry: daemons resolve a
-// user-supplied backend name to a Builder, then bind it to their listen
-// flag.
-type Builder func(listen string) Factory
+// Builder constructs a Factory serving real traffic on a listen address
+// under the given hardening limits (the zero Limits selects the
+// defaults). It is the registration unit of the backend registry: daemons
+// resolve a user-supplied backend name to a Builder, then bind it to
+// their listen and limit flags.
+type Builder func(listen string, lim Limits) Factory
 
 var (
 	registryMu sync.RWMutex
@@ -43,25 +44,32 @@ func Backends() []string {
 }
 
 // NewFactory resolves a backend name to a Factory bound to the given
-// listen address. Unknown names list the available backends in the error.
+// listen address under the default Limits. Unknown names list the
+// available backends in the error.
 func NewFactory(name, listen string) (Factory, error) {
+	return NewFactoryLimits(name, listen, Limits{})
+}
+
+// NewFactoryLimits is NewFactory with explicit hardening limits threaded
+// through to the backend.
+func NewFactoryLimits(name, listen string, lim Limits) (Factory, error) {
 	registryMu.RLock()
 	b, ok := registry[name]
 	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown backend %q (available: %v)", name, Backends())
 	}
-	return b(listen), nil
+	return b(listen, lim), nil
 }
 
 func init() {
-	Register("tcp", func(listen string) Factory {
-		return func(h Handler) (Transport, error) { return ListenTCP(listen, h) }
+	Register("tcp", func(listen string, lim Limits) Factory {
+		return func(h Handler) (Transport, error) { return ListenTCPLimits(listen, h, lim) }
 	})
-	Register("tcp-pooled", func(listen string) Factory {
-		return func(h Handler) (Transport, error) { return ListenPooledTCP(listen, h, PoolConfig{}) }
+	Register("tcp-pooled", func(listen string, lim Limits) Factory {
+		return func(h Handler) (Transport, error) { return ListenPooledTCP(listen, h, PoolConfig{Limits: lim}) }
 	})
-	Register("udp", func(listen string) Factory {
-		return func(h Handler) (Transport, error) { return ListenUDP(listen, h) }
+	Register("udp", func(listen string, lim Limits) Factory {
+		return func(h Handler) (Transport, error) { return ListenUDPLimits(listen, h, lim) }
 	})
 }

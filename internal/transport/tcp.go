@@ -24,6 +24,7 @@ const tcpDefaultTimeout = 5 * time.Second
 type TCP struct {
 	listener net.Listener
 	handler  Handler
+	limits   Limits
 	stats    counters
 
 	mu     sync.Mutex
@@ -38,16 +39,26 @@ var (
 )
 
 // ListenTCP starts serving on addr (e.g. "127.0.0.1:0") with h handling
-// incoming exchanges.
+// incoming exchanges, under the default Limits.
 func ListenTCP(addr string, h Handler) (*TCP, error) {
+	return ListenTCPLimits(addr, h, Limits{})
+}
+
+// ListenTCPLimits is ListenTCP with explicit transport hardening limits
+// (connection cap and keep-alive budgets); the zero Limits selects the
+// defaults.
+func ListenTCPLimits(addr string, h Handler, lim Limits) (*TCP, error) {
 	if h == nil {
 		return nil, errors.New("transport: nil handler")
+	}
+	if err := lim.fill(); err != nil {
+		return nil, err
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{listener: l, handler: h, reg: newConnRegistry()}
+	t := &TCP{listener: l, handler: h, limits: lim, reg: newConnRegistry()}
 	t.wg.Add(1)
 	go t.serve()
 	return t, nil
@@ -59,71 +70,47 @@ func (t *TCP) Addr() string { return t.listener.Addr().String() }
 
 func (t *TCP) serve() {
 	defer t.wg.Done()
-	for {
-		conn, err := t.listener.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		t.wg.Add(1)
-		go func() {
-			defer t.wg.Done()
-			t.handleConn(conn)
-		}()
-	}
+	acceptLoop(t.listener, newConnGate(t.limits.MaxConns, &t.stats.acceptRejects), &t.wg, t.handleConn)
 }
 
-// handleConn serves one connection. The first frame must arrive promptly
-// (bounding stalled or hostile connections), but after it the connection
-// is served in a loop: a persistent (pooled) peer reuses it for many
-// exchanges, and the keep-alive deadline is twice the pool's default idle
-// timeout so this side never closes a connection before a pooled client
-// evicts it — closing first would let the client write a push into a dead
-// socket and lose it silently. Dial-per-exchange clients simply close
-// after one exchange, ending the loop with EOF.
+// handleConn serves one connection. The first frame must arrive within
+// the slowloris window (Limits.FirstFrameTimeout), but after it the
+// connection is served in a loop: a persistent (pooled) peer reuses it
+// for many exchanges under the keep-alive budget it has earned (see
+// Limits). Dial-per-exchange clients simply close after one exchange,
+// ending the loop with EOF.
 func (t *TCP) handleConn(conn net.Conn) {
-	servePersistent(conn, t.handler, &t.stats, t.reg, keepAliveDeadline)
-}
-
-// keepAliveDeadline is the passive read budget shared by BOTH TCP
-// backends: a prompt bound for a connection's opening frame, then twice
-// the default pool idle timeout between frames. The 2x factor is
-// protocol-critical — every pooled initiator evicts idle connections
-// within DefaultIdleTimeout (enforced by PoolConfig validation), so the
-// passive side closing later than that is what prevents a push from
-// being written into an already-closed connection and lost silently.
-func keepAliveDeadline(first bool) time.Duration {
-	if first {
-		return tcpDefaultTimeout
-	}
-	return 2 * DefaultIdleTimeout
+	servePersistent(conn, t.handler, &t.stats, t.reg, &t.limits)
 }
 
 // handleFrame is the shared passive side of the TCP transports: decode a
 // request frame, run the handler, and write the response frame when the
-// request pulls one. It reports whether the stream is still in sync;
-// false means the connection must be torn down.
-func handleFrame(conn net.Conn, frame []byte, h Handler, stats *counters) bool {
+// request pulls one. keep reports whether the stream is still in sync
+// (false means the connection must be torn down); pulled reports whether
+// the frame was a pull (WantReply) exchange, which upgrades the
+// connection's keep-alive budget.
+func handleFrame(conn net.Conn, frame []byte, h Handler, stats *counters) (keep, pulled bool) {
 	req, _, isReq, err := DecodeMessage(frame)
 	if err != nil || !isReq {
 		stats.dropped.Add(1)
-		return false // a corrupt stream cannot be resynchronised
+		return false, false // a corrupt stream cannot be resynchronised
 	}
 	resp, ok := h(req)
 	// The WantReply guard keeps a persistent stream in sync even if a
 	// handler returns ok for a push-only request: an unrequested response
 	// frame would be misread as the reply to the peer's next exchange.
 	if !ok || !req.WantReply {
-		return true
+		return true, req.WantReply
 	}
 	out, err := EncodeResponse(resp)
 	if err != nil {
-		return false
+		return false, true
 	}
 	if writeFrame(conn, out) != nil {
-		return false
+		return false, true
 	}
 	stats.noteWrite(len(out) + frameHeaderSize)
-	return true
+	return true, true
 }
 
 // exchangeFrames is the shared active side of the TCP transports: write
@@ -251,10 +238,12 @@ func (r *connRegistry) closeAll() {
 
 // servePersistent is the shared passive serve loop of the TCP transports:
 // it reads frames from conn and hands them to handleFrame until the peer
-// closes, misbehaves, exceeds the deadline budget, or the registry shuts
-// down. deadlineFor returns the read budget for the next frame (first
-// reports whether it is the connection's opening frame).
-func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistry, deadlineFor func(first bool) time.Duration) {
+// closes, misbehaves, exceeds its read budget, or the registry shuts
+// down. The budget schedule is lim's: a slowloris window before the
+// opening frame, then the keep-alive the connection has earned (full
+// after its first pull, shrunken while it has only ever pushed). A budget
+// expiry is counted as a keep-alive eviction.
+func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistry, lim *Limits) {
 	if !reg.add(conn) {
 		conn.Close()
 		return
@@ -263,19 +252,24 @@ func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistr
 		conn.Close()
 		reg.remove(conn)
 	}()
-	first := true
+	first, pulled := true, false
 	for {
-		_ = conn.SetDeadline(time.Now().Add(deadlineFor(first)))
-		first = false
+		_ = conn.SetDeadline(time.Now().Add(lim.budget(first, pulled)))
 		frame, err := readFrame(conn)
 		if err != nil {
-			if errors.Is(err, errFrameTooLarge) {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				stats.kaEvictions.Add(1)
+			} else if errors.Is(err, errFrameTooLarge) {
 				stats.dropped.Add(1)
 			}
 			return
 		}
+		first = false
 		stats.noteRead(len(frame) + frameHeaderSize)
-		if !handleFrame(conn, frame, h, stats) {
+		keep, didPull := handleFrame(conn, frame, h, stats)
+		pulled = pulled || didPull
+		if !keep {
 			return
 		}
 	}

@@ -1,13 +1,3 @@
-// Package transport provides the message-passing substrate for the
-// asynchronous peer sampling runtime: an abstract Transport interface, an
-// in-memory fabric with configurable latency, loss and partitions (for
-// tests and single-process simulations), and three real-network backends
-// sharing one compact binary codec — dial-per-exchange TCP (the simple
-// baseline), connection-pooled TCP (persistent per-peer connections with
-// idle eviction; the production default), and UDP (one exchange per
-// datagram pair; cheapest, lossy by nature). Real backends are named in a
-// registry ("tcp", "tcp-pooled", "udp") so daemons can select one at the
-// command line, and they export wire-level counters via StatsReporter.
 package transport
 
 import (

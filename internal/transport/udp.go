@@ -26,10 +26,18 @@ var ErrOversized = errors.New("transport: message exceeds datagram size")
 // cheapest backend per exchange — and, like the underlying network, it is
 // lossy: a dropped datagram surfaces as an ErrUnreachable timeout on the
 // active side, exactly the failure the protocol's self-healing tolerates.
+//
+// Incoming requests are handled on their own goroutines so one slow
+// handler cannot stall the socket, bounded by Limits.MaxConns; a datagram
+// arriving while every slot is busy is dropped and counted in
+// Stats.AcceptRejects, the datagram analogue of refusing a connection.
 type UDP struct {
 	conn     *net.UDPConn
 	handler  Handler
+	limits   Limits
 	stats    counters
+	gate     *connGate
+	wg       sync.WaitGroup // in-flight handler goroutines
 	done     chan struct{}
 	closeOne sync.Once
 }
@@ -56,10 +64,20 @@ var datagramBufs = sync.Pool{
 const udpDefaultTimeout = 2 * time.Second
 
 // ListenUDP starts serving datagrams on addr (e.g. "127.0.0.1:0") with h
-// handling incoming exchanges.
+// handling incoming exchanges, under the default Limits.
 func ListenUDP(addr string, h Handler) (*UDP, error) {
+	return ListenUDPLimits(addr, h, Limits{})
+}
+
+// ListenUDPLimits is ListenUDP with explicit transport hardening limits.
+// Only Limits.MaxConns applies (it caps concurrent handler goroutines);
+// datagrams have no connections to keep alive.
+func ListenUDPLimits(addr string, h Handler, lim Limits) (*UDP, error) {
 	if h == nil {
 		return nil, errors.New("transport: nil handler")
+	}
+	if err := lim.fill(); err != nil {
+		return nil, err
 	}
 	uaddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -69,7 +87,8 @@ func ListenUDP(addr string, h Handler) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
 	}
-	t := &UDP{conn: conn, handler: h, done: make(chan struct{})}
+	t := &UDP{conn: conn, handler: h, limits: lim, done: make(chan struct{})}
+	t.gate = newConnGate(lim.MaxConns, &t.stats.acceptRejects)
 	go t.serve()
 	return t, nil
 }
@@ -94,28 +113,45 @@ func (t *UDP) serve() {
 			continue
 		}
 		t.stats.noteRead(n)
+		// Decode synchronously: the request owns its memory afterwards
+		// (addresses are copied into strings), so buf is free for the next
+		// datagram while the handler runs on its own goroutine.
 		req, _, isReq, err := DecodeMessage(buf[:n])
 		if err != nil || !isReq {
 			t.stats.dropped.Add(1)
 			continue
 		}
-		resp, ok := t.handler(req)
-		if !ok || !req.WantReply {
-			continue
+		if !t.gate.tryAcquire() {
+			continue // handler slots exhausted; counted as an accept reject
 		}
-		out, err := EncodeResponse(resp)
-		if err != nil || len(out) > MaxDatagramSize {
-			// The wire has no error frames, so an unencodable or
-			// oversized response can only be dropped and counted. This
-			// node's view is the oversized one, and its own active
-			// exchanges fail with ErrOversized, so the misconfiguration
-			// is loud locally even though the puller just times out.
-			t.stats.dropped.Add(1)
-			continue
-		}
-		if _, err := t.conn.WriteToUDP(out, src); err == nil {
-			t.stats.noteWrite(len(out))
-		}
+		t.wg.Add(1)
+		go func(req Request, src *net.UDPAddr) {
+			defer t.wg.Done()
+			defer t.gate.release()
+			t.handleDatagram(req, src)
+		}(req, src)
+	}
+}
+
+// handleDatagram runs the handler for one decoded request and writes the
+// response datagram when the request pulls one.
+func (t *UDP) handleDatagram(req Request, src *net.UDPAddr) {
+	resp, ok := t.handler(req)
+	if !ok || !req.WantReply {
+		return
+	}
+	out, err := EncodeResponse(resp)
+	if err != nil || len(out) > MaxDatagramSize {
+		// The wire has no error frames, so an unencodable or
+		// oversized response can only be dropped and counted. This
+		// node's view is the oversized one, and its own active
+		// exchanges fail with ErrOversized, so the misconfiguration
+		// is loud locally even though the puller just times out.
+		t.stats.dropped.Add(1)
+		return
+	}
+	if _, err := t.conn.WriteToUDP(out, src); err == nil {
+		t.stats.noteWrite(len(out))
 	}
 }
 
@@ -181,10 +217,11 @@ func (t *UDP) Exchange(ctx context.Context, addr string, req Request) (Response,
 }
 
 // Close implements Transport: it closes the socket and waits for the
-// serve loop to drain. Close is idempotent.
+// serve loop and in-flight handlers to drain. Close is idempotent.
 func (t *UDP) Close() error {
 	var err error
 	t.closeOne.Do(func() { err = t.conn.Close() })
 	<-t.done
+	t.wg.Wait()
 	return err
 }

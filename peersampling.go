@@ -20,8 +20,11 @@
 //     connections and idle eviction (PooledTCPFactory, the production
 //     choice), and one-datagram-per-message UDP (UDPFactory). Real
 //     backends share a compact binary codec, keep wire-level counters
-//     (Node.TransportStats) and are selectable by name through
-//     NewTransportFactory / TransportBackends;
+//     (Node.TransportStats), are selectable by name through
+//     NewTransportFactory / TransportBackends, and are hardened against
+//     hostile networks via TransportLimits (connection caps with accept
+//     backpressure, keep-alive budgets that shrink for peers that never
+//     pull — see the README's "hostile networks" section);
 //   - a cycle-based simulator (Simulation) and the complete experimental
 //     methodology of the paper (see internal/scenario and the benchmark
 //     harness at the repository root);
@@ -140,10 +143,16 @@ type (
 	// TransportFactory builds a node's endpoint around its handler.
 	TransportFactory = transport.Factory
 	// TransportStats is a snapshot of a real backend's wire-level
-	// counters (dials, reuses, bytes in/out, dropped datagrams); see
-	// Node.TransportStats.
+	// counters (dials, reuses, bytes in/out, dropped datagrams, rejected
+	// and evicted hostile connections); see Node.TransportStats.
 	TransportStats = transport.Stats
-	// PoolConfig tunes the pooled TCP backend (idle cap and timeout).
+	// TransportLimits bounds a listener's resource use under hostile
+	// load: max concurrent served connections (accept backpressure with
+	// rejects counted), and keep-alive budgets that shrink for peers that
+	// never initiate a pull. The zero value selects safe defaults.
+	TransportLimits = transport.Limits
+	// PoolConfig tunes the pooled TCP backend (idle cap and timeout,
+	// plus listener hardening via its Limits field).
 	PoolConfig = transport.PoolConfig
 	// Fabric is the in-memory test network.
 	Fabric = transport.Fabric
@@ -164,11 +173,21 @@ func FabricLoss(p float64, seed uint64) FabricOption { return transport.WithLoss
 // TCPFactory returns a TransportFactory serving real TCP on the given
 // listen address (use "host:0" for an ephemeral port; Node.Addr reports
 // the bound address). Every exchange dials a fresh connection; prefer
-// PooledTCPFactory when gossip rates or cluster sizes grow.
-func TCPFactory(listen string) TransportFactory {
+// PooledTCPFactory when gossip rates or cluster sizes grow. An optional
+// TransportLimits hardens the listener; omitted, the defaults apply.
+func TCPFactory(listen string, lim ...TransportLimits) TransportFactory {
 	return func(h transport.Handler) (transport.Transport, error) {
-		return transport.ListenTCP(listen, h)
+		return transport.ListenTCPLimits(listen, h, firstLimit(lim))
 	}
+}
+
+// firstLimit unwraps the optional trailing TransportLimits of the factory
+// constructors.
+func firstLimit(lim []TransportLimits) TransportLimits {
+	if len(lim) > 0 {
+		return lim[0]
+	}
+	return TransportLimits{}
 }
 
 // PooledTCPFactory returns a TransportFactory serving TCP with persistent
@@ -192,16 +211,26 @@ func PooledTCPFactory(listen string, cfg ...PoolConfig) TransportFactory {
 // initiates; a response that would not fit is dropped and counted in
 // TransportStats (the wire carries no error frames), which the oversized
 // node's own active errors make diagnosable.
-func UDPFactory(listen string) TransportFactory {
+// An optional TransportLimits caps concurrent handler dispatch; omitted,
+// the defaults apply.
+func UDPFactory(listen string, lim ...TransportLimits) TransportFactory {
 	return func(h transport.Handler) (transport.Transport, error) {
-		return transport.ListenUDP(listen, h)
+		return transport.ListenUDPLimits(listen, h, firstLimit(lim))
 	}
 }
 
 // NewTransportFactory resolves a registered backend name ("tcp",
-// "tcp-pooled", "udp") to a TransportFactory bound to the listen address.
+// "tcp-pooled", "udp") to a TransportFactory bound to the listen address,
+// under the default TransportLimits.
 func NewTransportFactory(name, listen string) (TransportFactory, error) {
 	return transport.NewFactory(name, listen)
+}
+
+// NewTransportFactoryLimits is NewTransportFactory with explicit
+// hardening limits threaded through to the backend (see TransportLimits
+// and the "hostile networks" section of the README).
+func NewTransportFactoryLimits(name, listen string, lim TransportLimits) (TransportFactory, error) {
+	return transport.NewFactoryLimits(name, listen, lim)
 }
 
 // TransportBackends returns the sorted names of the registered

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Fail the build unless every internal/* package carries a package
+# comment ("// Package <name> ..."), so `go doc` tells the same story as
+# the paper's sections. Run from the repository root.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./internal/...); do
+    if ! grep -q '^// Package ' "$dir"/*.go; then
+        echo "missing package comment: $dir" >&2
+        fail=1
+    fi
+done
+exit $fail
