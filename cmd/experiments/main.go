@@ -5,13 +5,23 @@
 //
 //	experiments -scale quick                  # all experiments, seconds
 //	experiments -scale full -run table1,figure7
+//	experiments -run hostile -metrics-addr 127.0.0.1:9090 -metrics-csv run.csv
 //
 // Scales: quick (N=500), medium (N=2500), full (the paper's N=10^4,
 // c=30, 300 cycles, 100 repetitions). Experiment IDs: table1, figure2,
 // figure3, figure4, table2, figure5, figure6, figure7, exclusion,
-// uniformity, churn, ablation, plus the live-socket extension "hostile"
-// (connection flood + slowloris against a real cluster — the one
-// experiment whose numbers are timing-dependent rather than seeded).
+// uniformity, churn, ablation, plus the live-socket extensions
+// "bootstrap" (single-contact cluster convergence) and "hostile"
+// (connection flood + slowloris against a real cluster) — the two
+// experiments whose numbers are timing-dependent rather than seeded.
+//
+// The live experiments can be observed while they run: -metrics-addr
+// serves every cluster node's counters and view gauges on a Prometheus
+// /metrics endpoint for the duration of the process, and -metrics-csv
+// appends periodic long-form snapshots (node,cycle,metric,value — the
+// same schema the figure CSVs use) so a live run yields a time series
+// like any simulated one. Both flags only affect experiments that boot
+// live clusters; cycle-based experiments emit their series via -csv.
 package main
 
 import (
@@ -23,30 +33,79 @@ import (
 	"strings"
 	"time"
 
+	"peersampling/internal/metrics"
 	"peersampling/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run owns the process lifecycle. Errors return instead of calling
+// log.Fatal so the deferred teardown — metrics server, final dump round,
+// dump file close — runs on the failure paths too.
+func run() error {
 	var (
 		scaleName = flag.String("scale", "quick", "quick, medium or full")
 		runList   = flag.String("run", "all", "comma-separated experiment IDs, or all")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		csvDir    = flag.String("csv", "", "directory for raw CSV series (figures only)")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live-experiment node metrics on http://<addr>/metrics while the process runs")
+		metricsCSV = flag.String("metrics-csv", "",
+			"append periodic live-experiment snapshots to this file (long-form CSV; .jsonl selects JSONL)")
+		metricsEvery = flag.Duration("metrics-interval", 250*time.Millisecond,
+			"snapshot interval for -metrics-csv")
 	)
 	flag.Parse()
 
+	if *metricsEvery <= 0 {
+		return fmt.Errorf("-metrics-interval must be positive, got %v", *metricsEvery)
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			log.Fatal(err)
+			return err
 		}
+	}
+
+	// A collector is attached to the live-cluster experiments (bootstrap,
+	// hostile) when either metrics flag asks for one; registered nodes
+	// stay observable after their experiment ends, so one endpoint serves
+	// a whole multi-experiment run.
+	var coll *metrics.Collector
+	if *metricsAddr != "" || *metricsCSV != "" {
+		coll = metrics.New()
+	}
+	if *metricsAddr != "" {
+		srv, err := metrics.NewServer(coll, *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("serving live-experiment metrics on http://%s/metrics\n\n", srv.Addr())
+	}
+	if *metricsCSV != "" {
+		dumper, err := metrics.NewFileDumper(coll, *metricsCSV)
+		if err != nil {
+			return err
+		}
+		defer dumper.Close()
+		dumper.Start(*metricsEvery)
+		defer func() {
+			if err := dumper.Stop(); err != nil {
+				log.Printf("metrics: final dump: %v", err)
+			}
+		}()
 	}
 
 	sc, err := scenario.ScaleByName(*scaleName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var defs []scenario.Def
@@ -56,7 +115,7 @@ func main() {
 		for _, id := range strings.Split(*runList, ",") {
 			def, ok := scenario.Find(strings.TrimSpace(id))
 			if !ok {
-				log.Fatalf("unknown experiment %q", id)
+				return fmt.Errorf("unknown experiment %q", id)
 			}
 			defs = append(defs, def)
 		}
@@ -66,7 +125,12 @@ func main() {
 		sc.Name, sc.N, sc.ViewSize, sc.Cycles, sc.Reps)
 	for _, def := range defs {
 		start := time.Now()
-		result := def.Run(sc, *seed)
+		var result scenario.Result
+		if coll != nil && def.RunLive != nil {
+			result = def.RunLive(sc, *seed, coll)
+		} else {
+			result = def.Run(sc, *seed)
+		}
 		fmt.Printf("=== %s — %s (%.1fs)\n\n", def.ID, def.Title, time.Since(start).Seconds())
 		fmt.Println(result.Render())
 		if *csvDir == "" {
@@ -76,10 +140,11 @@ func main() {
 			for stem, content := range csver.CSV() {
 				path := filepath.Join(*csvDir, stem+".csv")
 				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-					log.Fatal(err)
+					return err
 				}
 				fmt.Printf("wrote %s\n\n", path)
 			}
 		}
 	}
+	return nil
 }

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	psnode -listen 127.0.0.1:7946
+//	psnode -listen 127.0.0.1:7946 -metrics-addr 127.0.0.1:9090
 //	psnode -listen 127.0.0.1:7947 -contacts 127.0.0.1:7946 -transport udp
 //
 // The listener is hardened against hostile networks: -max-conns caps the
@@ -17,9 +17,13 @@
 // that never sends its opening frame is dropped at the slowloris window.
 // Zero values select the library defaults (1024 conns, 2m keep-alive).
 //
-// Every -report interval the daemon prints its current view, a getPeer()
-// sample and wire-level transport counters (including rejected and
-// evicted connections). Stop with SIGINT/SIGTERM.
+// The daemon is continuously observable: -metrics-addr serves Prometheus
+// text-format metrics on GET /metrics (protocol counters, every wire
+// counter, view-shape gauges), and -metrics-csv appends the same
+// snapshots every -report interval as long-form CSV
+// (node,cycle,metric,value — the schema the experiment renderers emit;
+// a .jsonl extension selects JSONL instead). The periodic report log is
+// driven by the same collector. Stop with SIGINT/SIGTERM.
 package main
 
 import (
@@ -38,7 +42,16 @@ import (
 func main() {
 	log.SetFlags(log.Ltime)
 	log.SetPrefix("psnode: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run owns the whole daemon lifecycle. Errors return instead of calling
+// log.Fatal so every deferred shutdown (node close, metrics server, dump
+// file) runs on the failure paths too — log.Fatal after the node existed
+// used to leak the listener and pooled connections.
+func run() error {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:0", "listen address")
 		backend = flag.String("transport", "tcp-pooled",
@@ -47,25 +60,32 @@ func main() {
 		protoFlag = flag.String("protocol", "(rand,head,pushpull)", "protocol tuple")
 		viewSize  = flag.Int("c", 30, "view size")
 		period    = flag.Duration("period", time.Second, "gossip period T")
-		report    = flag.Duration("report", 5*time.Second, "view report interval")
+		report    = flag.Duration("report", 5*time.Second, "view report and CSV dump interval")
 		diverse   = flag.Bool("diverse", false, "diversity-maximising getPeer")
 		maxConns  = flag.Int("max-conns", 0,
 			"max connections served concurrently (0 = default 1024, negative = unlimited)")
 		keepalive = flag.Duration("keepalive", 0,
 			"keep-alive budget for served connections that pull (0 = default 2m; push-only peers get 3/4 of it)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve Prometheus text-format metrics on http://<addr>/metrics (empty = disabled)")
+		metricsCSV = flag.String("metrics-csv", "",
+			"append periodic metric snapshots to this file; .jsonl selects JSONL, anything else long-form CSV (empty = disabled)")
 	)
 	flag.Parse()
 
+	if *report <= 0 {
+		return fmt.Errorf("-report must be positive, got %v", *report)
+	}
 	proto, err := peersampling.ParseProtocol(*protoFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	factory, err := peersampling.NewTransportFactoryLimits(*backend, *listen, peersampling.TransportLimits{
 		MaxConns:  *maxConns,
 		KeepAlive: *keepalive,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	node, err := peersampling.NewNode(peersampling.NodeConfig{
 		Protocol: proto,
@@ -75,21 +95,42 @@ func main() {
 		OnError:  func(err error) { log.Printf("exchange failed: %v", err) },
 	}, factory)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer node.Close()
 
-	if *contacts != "" {
-		list := strings.Split(*contacts, ",")
-		for i := range list {
-			list[i] = strings.TrimSpace(list[i])
+	coll := peersampling.NewCollector()
+	coll.Register("", node) // registered under the node's own address
+	if *metricsAddr != "" {
+		srv, err := peersampling.NewMetricsServer(coll, *metricsAddr)
+		if err != nil {
+			return err
 		}
-		if err := node.Init(list); err != nil {
-			log.Fatal(err)
+		defer srv.Close()
+		log.Printf("metrics: serving http://%s/metrics", srv.Addr())
+	}
+	if *metricsCSV != "" {
+		dumper, err := peersampling.NewMetricsFileDumper(coll, *metricsCSV)
+		if err != nil {
+			return err
+		}
+		defer dumper.Close()
+		dumper.Start(*report)
+		defer func() {
+			if err := dumper.Stop(); err != nil {
+				log.Printf("metrics: final dump: %v", err)
+			}
+		}()
+		log.Printf("metrics: dumping to %s every %v", *metricsCSV, *report)
+	}
+
+	if *contacts != "" {
+		if err := node.Init(strings.Split(*contacts, ",")); err != nil {
+			return err
 		}
 	}
 	if err := node.Start(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Printf("listening on %s (%s), protocol %s, c=%d, period %v", node.Addr(), *backend, proto, *viewSize, *period)
 
@@ -101,20 +142,26 @@ func main() {
 		select {
 		case <-stop:
 			log.Print("shutting down")
-			return
+			return nil
 		case <-ticker.C:
 			view := node.View()
 			entries := make([]string, len(view))
 			for i, d := range view {
 				entries[i] = fmt.Sprintf("%s@%d", d.Addr, d.Hop)
 			}
-			cycles, exchanges, failures, handled := node.Stats()
 			log.Printf("view(%d): %s", len(view), strings.Join(entries, " "))
-			log.Printf("stats: cycles=%d exchanges=%d failures=%d served=%d", cycles, exchanges, failures, handled)
-			if ts, ok := node.TransportStats(); ok {
-				log.Printf("wire: dials=%d reuses=%d out=%dB in=%dB dropped=%d rejects=%d evictions=%d",
-					ts.Dials, ts.Reuses, ts.BytesOut, ts.BytesIn, ts.DatagramsDropped,
-					ts.AcceptRejects, ts.KeepAliveEvictions)
+			// The report lines are the same snapshots the /metrics
+			// endpoint and the CSV dump serve.
+			for _, s := range coll.Snapshot() {
+				log.Printf("stats: cycles=%d exchanges=%d failures=%d served=%d view=%d hops=[%d %.1f %d]",
+					s.Cycles, s.Exchanges, s.Failures, s.Served, s.ViewSize, s.HopMin, s.HopMean, s.HopMax)
+				if s.Wire != nil {
+					parts := make([]string, 0, 9)
+					for _, c := range s.Wire.Named() {
+						parts = append(parts, fmt.Sprintf("%s=%d", c.Name, c.Value))
+					}
+					log.Printf("wire: %s", strings.Join(parts, " "))
+				}
 			}
 			if peer, err := node.GetPeer(); err == nil {
 				log.Printf("getPeer() -> %s", peer)

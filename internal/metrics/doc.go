@@ -1,0 +1,20 @@
+// Package metrics is the observability subsystem for live peer sampling
+// deployments: a dependency-free Collector that periodically snapshots
+// registered nodes — protocol counters (cycles, exchanges, failures,
+// served), every wire-level transport counter, and view-shape gauges
+// (size, min/mean/max hop age) — and exposes the snapshots two ways:
+//
+//   - Server publishes an HTTP /metrics endpoint in the Prometheus text
+//     exposition format (hand-rolled writer, standard library only), the
+//     continuous-scrape face of a long-running daemon;
+//   - Dumper appends periodic long-form CSV (node,cycle,metric,value —
+//     the same schema internal/scenario's renderers emit for the paper's
+//     figures, so live traces and simulator traces are directly
+//     comparable) or JSONL.
+//
+// The paper's methodology is measurement: every figure is a time series
+// of overlay properties sampled while the protocol runs. The simulator
+// side has always produced those series; this package gives the runtime
+// side (psnode, the live hostile/bootstrap scenarios) the same
+// continuous instrumentation over real sockets.
+package metrics

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Format selects the on-disk shape of a Dumper's output.
+type Format int
+
+const (
+	// FormatCSV appends long-form rows (node,cycle,metric,value), the
+	// schema the internal/scenario renderers emit for the paper's figures.
+	FormatCSV Format = iota
+	// FormatJSONL appends one JSON object per NodeSnapshot per line.
+	FormatJSONL
+)
+
+// FormatForPath picks the format implied by a dump file's extension:
+// ".jsonl" (or ".ndjson") selects FormatJSONL, anything else FormatCSV.
+func FormatForPath(path string) Format {
+	lower := strings.ToLower(path)
+	if strings.HasSuffix(lower, ".jsonl") || strings.HasSuffix(lower, ".ndjson") {
+		return FormatJSONL
+	}
+	return FormatCSV
+}
+
+// Dumper appends periodic snapshot rounds of a Collector to a writer, in
+// CSV or JSONL. Construct with NewDumper, then either call Dump for each
+// round or Start a background ticker. Methods are safe for concurrent
+// use; output rounds never interleave.
+type Dumper struct {
+	collector *Collector
+	format    Format
+
+	mu          sync.Mutex
+	w           io.Writer
+	wroteHeader bool
+	closer      io.Closer               // set when the dumper owns its file
+	last        map[string]NodeSnapshot // previous round, for change detection
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewDumper returns a dumper appending to w. The CSV header is written
+// before the first round only, so a dump file can span a whole run.
+func NewDumper(c *Collector, w io.Writer, format Format) *Dumper {
+	return &Dumper{collector: c, format: format, w: w}
+}
+
+// NewFileDumper opens (or creates) path in append mode and returns a
+// dumper whose format follows the file extension (see FormatForPath).
+// The CSV header is written only when the file is empty, so a daemon
+// restarted onto the same dump file keeps the document parseable instead
+// of burying a second header mid-file. Close the dumper (after Stop) to
+// close the file.
+func NewFileDumper(c *Collector, path string) (*Dumper, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: dump file: %w", err)
+	}
+	d := NewDumper(c, f, FormatForPath(path))
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		d.wroteHeader = true
+	}
+	d.closer = f
+	return d, nil
+}
+
+// Close closes the underlying dump file when the dumper owns one (it was
+// built by NewFileDumper) and is a no-op otherwise. It does not stop a
+// running ticker; call Stop first.
+func (d *Dumper) Close() error {
+	if d.closer == nil {
+		return nil
+	}
+	return d.closer.Close()
+}
+
+// Dump appends one snapshot round, sampled at cycle granularity: a node
+// is emitted only when its cycle counter has advanced since its last
+// emitted snapshot (the first observation always lands). This keeps
+// (node,cycle,metric) unique — matching the simulator's one observation
+// per cycle, so value-by-cycle tooling never sees conflicting points —
+// and makes a finished (closed) cluster left registered on the collector
+// stop generating rows instead of appending frozen lines forever.
+func (d *Dumper) Dump() error {
+	all := d.collector.Snapshot()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.last == nil {
+		d.last = make(map[string]NodeSnapshot, len(all))
+	}
+	snaps := make([]NodeSnapshot, 0, len(all))
+	for _, s := range all {
+		if prev, ok := d.last[s.Node]; ok && prev.Cycles == s.Cycles {
+			continue
+		}
+		snaps = append(snaps, s)
+	}
+
+	var b strings.Builder
+	switch d.format {
+	case FormatJSONL:
+		enc := json.NewEncoder(&b)
+		for _, s := range snaps {
+			if err := enc.Encode(s); err != nil {
+				return fmt.Errorf("metrics: dump: %w", err)
+			}
+		}
+	default:
+		if !d.wroteHeader {
+			b.WriteString(LongHeader("node"))
+		}
+		for _, s := range snaps {
+			AppendLongRows(&b, s.Rows())
+		}
+	}
+	if _, err := io.WriteString(d.w, b.String()); err != nil {
+		return err
+	}
+	// Commit the round only after the write landed: a transient write
+	// failure must not mark these observations as already dumped, or a
+	// retry (or Stop's final round) would suppress them forever.
+	d.wroteHeader = true
+	for _, s := range snaps {
+		d.last[s.Node] = s
+	}
+	return nil
+}
+
+// Start dumps one round every interval on a background goroutine until
+// Stop. A non-positive interval is clamped to one second rather than
+// panicking the ticker. Write errors stop the loop; a broken dump file
+// is not worth stalling a daemon over.
+func (d *Dumper) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-ticker.C:
+				if err := d.Dump(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts a Started dumper, appends one final round so short runs are
+// never empty, and returns the final round's error. Stop on a dumper that
+// was never Started just writes the final round.
+func (d *Dumper) Stop() error {
+	if d.stop != nil {
+		d.stopOnce.Do(func() { close(d.stop) })
+		<-d.done
+	}
+	return d.Dump()
+}

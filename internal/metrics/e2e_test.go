@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/runtime"
+	"peersampling/internal/transport"
+)
+
+// End-to-end: a live fabric-backed cluster plus a real-socket TCP pair,
+// all registered with one collector, scraped over actual HTTP. This is
+// the deployment shape of psnode -metrics-addr.
+func TestServerScrapesLiveNodes(t *testing.T) {
+	cfg := runtime.Config{
+		Protocol: core.Newscast,
+		ViewSize: 8,
+		Period:   time.Hour, // cycles driven by Tick
+		Seed:     1,
+	}
+
+	// Fabric arm: three in-memory nodes in a ring.
+	fabric := transport.NewFabric()
+	var fabNodes []*runtime.Node
+	for i := 0; i < 3; i++ {
+		n, err := runtime.New(cfg, fabric.Factory(fmt.Sprintf("fab%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		fabNodes = append(fabNodes, n)
+	}
+	for i, n := range fabNodes {
+		if err := n.Init([]string{fabNodes[(i+1)%len(fabNodes)].Addr()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Real-socket arm: two TCP nodes gossiping on loopback.
+	var tcpNodes []*runtime.Node
+	for i := 0; i < 2; i++ {
+		factory, err := transport.NewFactory("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := runtime.New(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		tcpNodes = append(tcpNodes, n)
+	}
+	if err := tcpNodes[0].Init([]string{tcpNodes[1].Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tcpNodes[1].Init([]string{tcpNodes[0].Addr()}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		for _, n := range fabNodes {
+			n.Tick()
+		}
+		for _, n := range tcpNodes {
+			n.Tick()
+		}
+	}
+
+	coll := New()
+	for i, n := range fabNodes {
+		coll.Register(fmt.Sprintf("fab%d", i), n)
+	}
+	for i, n := range tcpNodes {
+		coll.Register(fmt.Sprintf("tcp%d", i), n)
+	}
+
+	srv, err := NewServer(coll, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Protocol counters and view gauges for every node.
+	for _, node := range []string{"fab0", "fab1", "fab2", "tcp0", "tcp1"} {
+		for _, family := range []string{"peersampling_cycles_total", "peersampling_view_size", "peersampling_view_hop_mean"} {
+			if !strings.Contains(body, family+`{node="`+node+`"`) {
+				t.Errorf("no %s sample for %s", family, node)
+			}
+		}
+	}
+	if !strings.Contains(body, `peersampling_cycles_total{node="fab0",addr="`+fabNodes[0].Addr()+`"} 3`) {
+		t.Errorf("fab0 cycle counter wrong in:\n%s", body)
+	}
+	// All nine wire counter families, with samples only for the TCP arm.
+	for _, c := range (transport.Stats{}).Named() {
+		family := "peersampling_transport_" + c.Name + "_total"
+		if !strings.Contains(body, family+`{node="tcp0"`) {
+			t.Errorf("no %s sample for tcp0", family)
+		}
+		if strings.Contains(body, family+`{node="fab0"`) {
+			t.Errorf("fabric node exports wire counter %s", family)
+		}
+	}
+	// The TCP pair has gossiped for real, so dials must be non-zero.
+	if strings.Contains(body, `peersampling_transport_dials_total{node="tcp0",addr="`+tcpNodes[0].Addr()+`"} 0`) {
+		t.Error("tcp0 dials still zero after three live cycles")
+	}
+
+	if _, err := http.Get("http://" + srv.Addr() + "/nope"); err != nil {
+		t.Fatalf("non-metrics path errored at transport level: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LongRow is one observation in long form: a series key (a protocol for
+// simulator traces, a node name for live traces), the cycle it was taken
+// at, a metric name and its value. Every long-form CSV in the repository
+// — the scenario renderers' figure series and the live Dumper's output —
+// is a header plus LongRows, which is what makes simulator runs and live
+// runs directly comparable with the same external tooling.
+type LongRow struct {
+	Key    string
+	Cycle  int
+	Metric string
+	Value  float64
+}
+
+// LongHeader returns the CSV header line for long-form rows whose key
+// column carries the given name ("protocol" for simulator traces, "node"
+// for live traces).
+func LongHeader(keyColumn string) string {
+	return keyColumn + ",cycle,metric,value\n"
+}
+
+// AppendLongRows writes rows in CSV form (no header) to b.
+func AppendLongRows(b *strings.Builder, rows []LongRow) {
+	for _, r := range rows {
+		fmt.Fprintf(b, "%s,%d,%s,%.6f\n", r.Key, r.Cycle, r.Metric, r.Value)
+	}
+}
+
+// LongCSV renders a complete long-form CSV document: LongHeader followed
+// by one line per row.
+func LongCSV(keyColumn string, rows []LongRow) string {
+	var b strings.Builder
+	b.WriteString(LongHeader(keyColumn))
+	AppendLongRows(&b, rows)
+	return b.String()
+}
+
+// ParseLongCSV parses a document produced by LongCSV (or by anything
+// emitting the same schema), returning the key column's name and the
+// rows. It is the round-trip counterpart used by tests to prove that
+// live dumps and scenario renders share one schema.
+func ParseLongCSV(doc string) (keyColumn string, rows []LongRow, err error) {
+	lines := strings.Split(strings.TrimSuffix(doc, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return "", nil, fmt.Errorf("metrics: empty long-form CSV")
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) != 4 || header[1] != "cycle" || header[2] != "metric" || header[3] != "value" {
+		return "", nil, fmt.Errorf("metrics: not a long-form header: %q", lines[0])
+	}
+	keyColumn = header[0]
+	rows = make([]LongRow, 0, len(lines)-1)
+	for i, line := range lines[1:] {
+		if line == lines[0] {
+			// A repeated header marks an append boundary (e.g. a file
+			// predating NewFileDumper's empty-file check); tolerate it.
+			continue
+		}
+		// Keys may themselves contain commas — protocol tuples render as
+		// "(rand,head,pushpull)" — so the three fixed columns are taken
+		// from the right and whatever precedes them is the key.
+		fields := strings.Split(line, ",")
+		if len(fields) < 4 {
+			return "", nil, fmt.Errorf("metrics: line %d: %d fields, want >= 4", i+2, len(fields))
+		}
+		cycle, err := strconv.Atoi(fields[len(fields)-3])
+		if err != nil {
+			return "", nil, fmt.Errorf("metrics: line %d: cycle: %w", i+2, err)
+		}
+		value, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("metrics: line %d: value: %w", i+2, err)
+		}
+		rows = append(rows, LongRow{
+			Key:    strings.Join(fields[:len(fields)-3], ","),
+			Cycle:  cycle,
+			Metric: fields[len(fields)-2],
+			Value:  value,
+		})
+	}
+	return keyColumn, rows, nil
+}

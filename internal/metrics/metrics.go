@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/transport"
+)
+
+// Source is the Collector's read-only window onto one running node:
+// exactly the observation surface *runtime.Node exposes. Implementations
+// must be safe for concurrent use; the collector polls them from its own
+// goroutines.
+type Source interface {
+	// Addr is the node's transport address.
+	Addr() string
+	// Stats reports lifetime protocol counters (see runtime.Node.Stats).
+	Stats() (cycles, exchanges, failures, handled uint64)
+	// TransportStats reports wire-level counters; ok is false when the
+	// transport keeps none (e.g. the in-memory fabric).
+	TransportStats() (stats transport.Stats, ok bool)
+	// View returns a copy of the current partial view.
+	View() []core.Descriptor[string]
+}
+
+// NodeSnapshot is one node's observable state at one instant: the shared
+// row type behind every exporter (Prometheus exposition, CSV/JSONL dumps,
+// the psnode report log).
+type NodeSnapshot struct {
+	// Node is the name the source was registered under (the Prometheus
+	// "node" label and the CSV key column).
+	Node string `json:"node"`
+	// Addr is the node's transport address.
+	Addr string `json:"addr"`
+	// UnixMillis is the snapshot time.
+	UnixMillis int64 `json:"unix_ms"`
+
+	// Protocol counters, as reported by Source.Stats.
+	Cycles    uint64 `json:"cycles"`
+	Exchanges uint64 `json:"exchanges"`
+	Failures  uint64 `json:"failures"`
+	Served    uint64 `json:"served"`
+
+	// Wire holds the transport's wire-level counters; nil when the
+	// transport keeps none.
+	Wire *transport.Stats `json:"wire,omitempty"`
+
+	// View-shape gauges. The hop statistics are zero when the view is
+	// empty.
+	ViewSize int     `json:"view_size"`
+	HopMin   int32   `json:"view_hop_min"`
+	HopMax   int32   `json:"view_hop_max"`
+	HopMean  float64 `json:"view_hop_mean"`
+}
+
+// Rows flattens the snapshot into long-form rows keyed by the node name,
+// with the node's own cycle count as the cycle column — the live analogue
+// of the simulator's per-cycle observations. Wire counters are enumerated
+// through transport.Stats.Named, so a counter added there appears here
+// without any change.
+func (s NodeSnapshot) Rows() []LongRow {
+	rows := []LongRow{
+		{s.Node, int(s.Cycles), "cycles", float64(s.Cycles)},
+		{s.Node, int(s.Cycles), "exchanges", float64(s.Exchanges)},
+		{s.Node, int(s.Cycles), "failures", float64(s.Failures)},
+		{s.Node, int(s.Cycles), "served", float64(s.Served)},
+		{s.Node, int(s.Cycles), "view_size", float64(s.ViewSize)},
+		{s.Node, int(s.Cycles), "view_hop_min", float64(s.HopMin)},
+		{s.Node, int(s.Cycles), "view_hop_mean", s.HopMean},
+		{s.Node, int(s.Cycles), "view_hop_max", float64(s.HopMax)},
+	}
+	if s.Wire != nil {
+		for _, c := range s.Wire.Named() {
+			rows = append(rows, LongRow{s.Node, int(s.Cycles), "wire_" + c.Name, float64(c.Value)})
+		}
+	}
+	return rows
+}
+
+// Collector registers nodes and snapshots them on demand. The zero value
+// is not usable; construct collectors with New. All methods are safe for
+// concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	sources []namedSource
+	names   map[string]bool
+
+	// now stubs time for deterministic tests.
+	now func() time.Time
+}
+
+type namedSource struct {
+	name string
+	src  Source
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{names: map[string]bool{}, now: time.Now}
+}
+
+// Register adds a source under the given name. An empty name defaults to
+// the source's address; a name already taken is uniquified with a "#n"
+// suffix, so repeated live experiments can register fresh clusters under
+// stable base names without bookkeeping.
+func (c *Collector) Register(name string, src Source) {
+	if name == "" {
+		name = src.Addr()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := name
+	for n := 2; c.names[name]; n++ {
+		name = fmt.Sprintf("%s#%d", base, n)
+	}
+	c.names[name] = true
+	c.sources = append(c.sources, namedSource{name: name, src: src})
+}
+
+// Len reports how many sources are registered.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sources)
+}
+
+// Snapshot polls every registered source and returns one NodeSnapshot per
+// node, in registration order. Sources are polled outside the collector
+// lock, so a slow node cannot block Register calls.
+func (c *Collector) Snapshot() []NodeSnapshot {
+	c.mu.Lock()
+	sources := make([]namedSource, len(c.sources))
+	copy(sources, c.sources)
+	now := c.now
+	c.mu.Unlock()
+
+	snaps := make([]NodeSnapshot, len(sources))
+	for i, ns := range sources {
+		snaps[i] = snapshotOne(ns.name, ns.src, now().UnixMilli())
+	}
+	return snaps
+}
+
+func snapshotOne(name string, src Source, unixMillis int64) NodeSnapshot {
+	s := NodeSnapshot{Node: name, Addr: src.Addr(), UnixMillis: unixMillis}
+	s.Cycles, s.Exchanges, s.Failures, s.Served = src.Stats()
+	if wire, ok := src.TransportStats(); ok {
+		s.Wire = &wire
+	}
+	view := src.View()
+	s.ViewSize = len(view)
+	if len(view) > 0 {
+		s.HopMin, s.HopMax = view[0].Hop, view[0].Hop
+		sum := 0.0
+		for _, d := range view {
+			if d.Hop < s.HopMin {
+				s.HopMin = d.Hop
+			}
+			if d.Hop > s.HopMax {
+				s.HopMax = d.Hop
+			}
+			sum += float64(d.Hop)
+		}
+		s.HopMean = sum / float64(len(view))
+	}
+	return s
+}

@@ -1,0 +1,419 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/transport"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// fakeSource is a deterministic Source for exporter tests.
+type fakeSource struct {
+	addr                       string
+	cycles, ex, failed, served uint64
+	wire                       *transport.Stats
+	view                       []core.Descriptor[string]
+}
+
+func (f *fakeSource) Addr() string { return f.addr }
+func (f *fakeSource) Stats() (uint64, uint64, uint64, uint64) {
+	return f.cycles, f.ex, f.failed, f.served
+}
+func (f *fakeSource) TransportStats() (transport.Stats, bool) {
+	if f.wire == nil {
+		return transport.Stats{}, false
+	}
+	return *f.wire, true
+}
+func (f *fakeSource) View() []core.Descriptor[string] { return f.view }
+
+// fixedCollector returns a collector over two fake nodes — one with wire
+// counters and a populated view, one bare — with time pinned.
+func fixedCollector() *Collector {
+	c := New()
+	c.now = func() time.Time { return time.UnixMilli(1700000000000) }
+	c.Register("alpha", &fakeSource{
+		addr: "127.0.0.1:7946", cycles: 12, ex: 10, failed: 2, served: 9,
+		wire: &transport.Stats{
+			Dials: 1, Reuses: 2, BytesOut: 3, BytesIn: 4, FramesOut: 5,
+			FramesIn: 6, DatagramsDropped: 7, AcceptRejects: 8, KeepAliveEvictions: 9,
+		},
+		view: []core.Descriptor[string]{{Addr: "p1", Hop: 1}, {Addr: "p2", Hop: 2}, {Addr: "p3", Hop: 6}},
+	})
+	c.Register("beta", &fakeSource{addr: "fabric-b", cycles: 1})
+	return c
+}
+
+func TestCollectorSnapshot(t *testing.T) {
+	snaps := fixedCollector().Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d want 2", len(snaps))
+	}
+	a := snaps[0]
+	if a.Node != "alpha" || a.Addr != "127.0.0.1:7946" || a.UnixMillis != 1700000000000 {
+		t.Errorf("identity wrong: %+v", a)
+	}
+	if a.Cycles != 12 || a.Exchanges != 10 || a.Failures != 2 || a.Served != 9 {
+		t.Errorf("protocol counters wrong: %+v", a)
+	}
+	if a.Wire == nil || a.Wire.KeepAliveEvictions != 9 {
+		t.Errorf("wire counters wrong: %+v", a.Wire)
+	}
+	if a.ViewSize != 3 || a.HopMin != 1 || a.HopMax != 6 || a.HopMean != 3 {
+		t.Errorf("view shape wrong: %+v", a)
+	}
+	b := snaps[1]
+	if b.Wire != nil {
+		t.Errorf("bare node grew wire counters: %+v", b.Wire)
+	}
+	if b.ViewSize != 0 || b.HopMin != 0 || b.HopMax != 0 || b.HopMean != 0 {
+		t.Errorf("empty view shape wrong: %+v", b)
+	}
+}
+
+func TestRegisterUniquifiesNames(t *testing.T) {
+	c := New()
+	c.Register("n", &fakeSource{addr: "a"})
+	c.Register("n", &fakeSource{addr: "b"})
+	c.Register("", &fakeSource{addr: "c"})
+	snaps := c.Snapshot()
+	if snaps[0].Node != "n" || snaps[1].Node != "n#2" || snaps[2].Node != "c" {
+		t.Errorf("names = %q %q %q", snaps[0].Node, snaps[1].Node, snaps[2].Node)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+// The exposition output is compared byte-for-byte against a golden file:
+// the format is a contract with external scrapers, so accidental drift
+// must be loud. Regenerate with -update-golden after intentional changes.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedCollector().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const goldenPath = "testdata/exposition.golden"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// Every transport counter must appear as its own family: the names come
+// from transport.Stats.Named, so this holds by construction — the test
+// pins the contract.
+func TestPrometheusCoversAllWireCounters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedCollector().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, c := range (transport.Stats{}).Named() {
+		family := "peersampling_transport_" + c.Name + "_total"
+		if !strings.Contains(out, "# TYPE "+family+" counter") {
+			t.Errorf("family %s missing from exposition", family)
+		}
+	}
+}
+
+func TestLongCSVRoundTrip(t *testing.T) {
+	snaps := fixedCollector().Snapshot()
+	var rows []LongRow
+	for _, s := range snaps {
+		rows = append(rows, s.Rows()...)
+	}
+	doc := LongCSV("node", rows)
+	key, parsed, err := ParseLongCSV(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "node" {
+		t.Errorf("key column = %q", key)
+	}
+	if len(parsed) != len(rows) {
+		t.Fatalf("parsed %d rows want %d", len(parsed), len(rows))
+	}
+	for i, r := range rows {
+		p := parsed[i]
+		// Values survive modulo the %.6f rendering.
+		if p.Key != r.Key || p.Cycle != r.Cycle || p.Metric != r.Metric ||
+			p.Value < r.Value-1e-6 || p.Value > r.Value+1e-6 {
+			t.Errorf("row %d: %+v != %+v", i, p, r)
+		}
+	}
+	// One row per protocol counter, view gauge and wire counter.
+	wantAlpha := 8 + len((transport.Stats{}).Named())
+	alpha := 0
+	for _, r := range parsed {
+		if r.Key == "alpha" {
+			alpha++
+		}
+	}
+	if alpha != wantAlpha {
+		t.Errorf("alpha rows = %d want %d", alpha, wantAlpha)
+	}
+}
+
+func TestParseLongCSVRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{"", "a,b,c\n", "node,cycle,metric,value\nx,NaNcycle,m,1\n", "node,cycle,metric,value\nshort,row\n"} {
+		if _, _, err := ParseLongCSV(doc); err == nil {
+			t.Errorf("accepted %q", doc)
+		}
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	if FormatForPath("run.jsonl") != FormatJSONL || FormatForPath("RUN.NDJSON") != FormatJSONL {
+		t.Error("jsonl extensions not detected")
+	}
+	if FormatForPath("run.csv") != FormatCSV || FormatForPath("dump") != FormatCSV {
+		t.Error("csv default wrong")
+	}
+}
+
+func TestDumperCSV(t *testing.T) {
+	c := fixedCollector()
+	var buf bytes.Buffer
+	d := NewDumper(c, &buf, FormatCSV)
+	if err := d.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if strings.Count(doc, "node,cycle,metric,value\n") != 1 {
+		t.Errorf("header not written exactly once:\n%s", doc)
+	}
+	if _, rows, err := ParseLongCSV(doc); err != nil {
+		t.Fatal(err)
+	} else if len(rows) == 0 {
+		t.Error("no rows dumped")
+	}
+}
+
+func TestDumperJSONL(t *testing.T) {
+	c := fixedCollector()
+	var buf bytes.Buffer
+	d := NewDumper(c, &buf, FormatJSONL)
+	if err := d.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines want 2", len(lines))
+	}
+	var s NodeSnapshot
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Node != "alpha" || s.Wire == nil || s.Wire.AcceptRejects != 8 {
+		t.Errorf("decoded snapshot wrong: %+v", s)
+	}
+}
+
+// A restarted daemon appends to its previous dump file; the header must
+// not be repeated mid-file, and the whole multi-run document must still
+// parse.
+func TestFileDumperSurvivesRestart(t *testing.T) {
+	c := fixedCollector()
+	path := t.TempDir() + "/dump.csv"
+	for run := 0; run < 2; run++ {
+		d, err := NewFileDumper(c, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Dump(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	if got := strings.Count(doc, "node,cycle,metric,value\n"); got != 1 {
+		t.Errorf("header appears %d times after a restart, want 1:\n%s", got, doc)
+	}
+	if _, rows, err := ParseLongCSV(doc); err != nil {
+		t.Fatalf("restarted dump file does not parse: %v", err)
+	} else if len(rows) == 0 {
+		t.Error("no rows")
+	}
+
+	if FormatForPath(path) != FormatCSV {
+		t.Error("extension format wrong")
+	}
+	if _, err := NewFileDumper(c, t.TempDir()+"/missing/dir.csv"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+// Files written before the empty-file check existed may carry repeated
+// headers; the parser tolerates them at append boundaries.
+func TestParseLongCSVToleratesRepeatedHeader(t *testing.T) {
+	doc := "node,cycle,metric,value\na,1,m,1.000000\nnode,cycle,metric,value\nb,2,m,2.000000\n"
+	_, rows, err := ParseLongCSV(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1].Key != "b" {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+// The dumper samples each node at most once per gossip cycle: rounds
+// where the cycle counter has not advanced are suppressed, so
+// (node,cycle,metric) stays unique like the simulator's one observation
+// per cycle, and a finished cluster left registered on a shared
+// collector stops generating rows instead of appending frozen lines
+// every interval forever.
+func TestDumperSamplesAtCycleGranularity(t *testing.T) {
+	src := &fakeSource{addr: "a", cycles: 1}
+	c := New()
+	c.now = func() time.Time { return time.UnixMilli(1) }
+	c.Register("a", src)
+
+	var buf bytes.Buffer
+	d := NewDumper(c, &buf, FormatCSV)
+	if err := d.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := buf.Len()
+	src.served = 7 // within-cycle movement only
+	if err := d.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != afterFirst {
+		t.Errorf("same-cycle re-observation appended rows:\n%s", buf.String())
+	}
+	src.cycles = 2 // the next cycle ran
+	if err := d.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == afterFirst {
+		t.Error("advanced cycle appended nothing")
+	}
+	_, rows, err := ParseLongCSV(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two emitted rounds' worth of rows, not three, and unique
+	// (key,cycle,metric) tuples throughout.
+	if want := 2 * len(NodeSnapshot{}.Rows()); len(rows) != want {
+		t.Errorf("rows = %d want %d", len(rows), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		k := fmt.Sprintf("%s|%d|%s", r.Key, r.Cycle, r.Metric)
+		if seen[k] {
+			t.Errorf("duplicate tuple %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+// A write failure must not mark the round as dumped: the retry (or the
+// final Stop round) has to emit the lost observations.
+func TestDumperRetriesAfterWriteFailure(t *testing.T) {
+	c := fixedCollector()
+	w := &flakyWriter{fails: 1}
+	d := NewDumper(c, w, FormatCSV)
+	if err := d.Dump(); err == nil {
+		t.Fatal("failed write not reported")
+	}
+	if err := d.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := ParseLongCSV(w.buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Error("observations lost after a transient write failure")
+	}
+}
+
+// flakyWriter fails its first Write calls, then behaves.
+type flakyWriter struct {
+	fails int
+	buf   bytes.Buffer
+}
+
+func (w *flakyWriter) Write(p []byte) (int, error) {
+	if w.fails > 0 {
+		w.fails--
+		return 0, errors.New("disk full")
+	}
+	return w.buf.Write(p)
+}
+
+// Start must tolerate a non-positive interval (clamp, not ticker panic).
+func TestDumperStartClampsInterval(t *testing.T) {
+	d := NewDumper(fixedCollector(), &syncBuffer{}, FormatCSV)
+	d.Start(0)
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumperStartStop(t *testing.T) {
+	c := fixedCollector()
+	var buf syncBuffer
+	d := NewDumper(c, &buf, FormatCSV)
+	d.Start(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := ParseLongCSV(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least the final round is always present; the ticker normally
+	// lands several more.
+	if len(rows) < 2 {
+		t.Errorf("only %d rows after Start/Stop", len(rows))
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the dumper goroutine + test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The Prometheus text exposition format, hand-rolled: one HELP/TYPE pair
+// per metric family followed by one sample per node, all families emitted
+// for every scrape. No client library is involved — the format is three
+// line shapes and an escaping rule.
+
+// promFamily describes one metric family and how to read its value from a
+// snapshot. ok=false omits the sample (e.g. wire counters on a transport
+// that keeps none).
+type promFamily struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	value func(s NodeSnapshot) (v float64, ok bool)
+}
+
+// promFamilies enumerates every exported family. Protocol counters and
+// view gauges are fixed; the transport families are generated from
+// transport.Stats.Named via the snapshots, so a wire counter added there
+// is exported without touching this file.
+func promFamilies(snaps []NodeSnapshot) []promFamily {
+	families := []promFamily{
+		{"peersampling_cycles_total", "Active gossip cycles run.", "counter",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.Cycles), true }},
+		{"peersampling_exchanges_total", "Completed active exchanges.", "counter",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.Exchanges), true }},
+		{"peersampling_exchange_failures_total", "Failed active exchanges (unreachable peers, timeouts).", "counter",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.Failures), true }},
+		{"peersampling_requests_served_total", "Passive exchanges served to other nodes.", "counter",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.Served), true }},
+		{"peersampling_view_size", "Current partial view occupancy (capacity is the protocol parameter c).", "gauge",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.ViewSize), true }},
+		{"peersampling_view_hop_min", "Lowest hop age in the view (freshest descriptor).", "gauge",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.HopMin), true }},
+		{"peersampling_view_hop_mean", "Mean hop age across the view.", "gauge",
+			func(s NodeSnapshot) (float64, bool) { return s.HopMean, true }},
+		{"peersampling_view_hop_max", "Highest hop age in the view (stalest descriptor).", "gauge",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.HopMax), true }},
+	}
+	for _, wire := range wireCounterNames(snaps) {
+		name := wire // capture
+		families = append(families, promFamily{
+			name: "peersampling_transport_" + name + "_total",
+			help: "Transport wire counter " + name + " (see transport.Stats).",
+			typ:  "counter",
+			value: func(s NodeSnapshot) (float64, bool) {
+				if s.Wire == nil {
+					return 0, false
+				}
+				for _, c := range s.Wire.Named() {
+					if c.Name == name {
+						return float64(c.Value), true
+					}
+				}
+				return 0, false
+			},
+		})
+	}
+	return families
+}
+
+// wireCounterNames returns the counter names of the first snapshot that
+// carries wire stats; nodes without counters simply emit no transport
+// samples.
+func wireCounterNames(snaps []NodeSnapshot) []string {
+	for _, s := range snaps {
+		if s.Wire == nil {
+			continue
+		}
+		named := s.Wire.Named()
+		names := make([]string, len(named))
+		for i, c := range named {
+			names[i] = c.Name
+		}
+		return names
+	}
+	return nil
+}
+
+// WritePrometheus renders the snapshots in the Prometheus text exposition
+// format: per family a HELP and TYPE line, then one labelled sample per
+// node.
+func WritePrometheus(w io.Writer, snaps []NodeSnapshot) error {
+	var b strings.Builder
+	for _, fam := range promFamilies(snaps) {
+		wrote := false
+		for _, s := range snaps {
+			v, ok := fam.value(s)
+			if !ok {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.typ)
+				wrote = true
+			}
+			// %q quotes and escapes backslash, double quote and newline —
+			// exactly the label escaping the exposition format defines.
+			fmt.Fprintf(&b, "%s{node=%q,addr=%q} %s\n",
+				fam.name, s.Node, s.Addr, formatValue(v))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus takes one snapshot round and renders it; the Server's
+// /metrics handler is exactly this.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, c.Snapshot())
+}
+
+// formatValue renders integers without an exponent and everything else in
+// shortest-round-trip form, matching what scrapers expect.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

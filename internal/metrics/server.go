@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server publishes a Collector over HTTP: GET /metrics returns the
+// Prometheus text exposition of a fresh snapshot round. Standard library
+// only — the exposition format needs no client library.
+type Server struct {
+	collector *Collector
+	ln        net.Listener
+	srv       *http.Server
+}
+
+// NewServer starts serving the collector on addr (e.g. "127.0.0.1:9090",
+// or ":0" for an ephemeral port reported by Addr). The server runs until
+// Close.
+func NewServer(c *Collector, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{collector: c, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	// A metrics endpoint serves small responses to well-known scrapers,
+	// so every phase is tightly bounded: a client that stalls reading (or
+	// idles on a keep-alive conn) releases its goroutine at the timeout
+	// instead of pinning it — the slowloris class the gossip listener's
+	// Limits guard against must not reopen on the adjacent port.
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener immediately. In-flight scrapes
+// are aborted; a metrics endpoint has nothing worth draining.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.collector.WritePrometheus(w)
+}

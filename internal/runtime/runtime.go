@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"sync"
 	"time"
 
@@ -139,12 +140,19 @@ func (n *Node) Protocol() core.Protocol { return n.cfg.Protocol }
 // Init implements Service: it seeds the view with the contact addresses at
 // hop count zero. Calling Init on a node that already has a view merely
 // adds the contacts, which matches the paper's "initializes the service
-// ... if this has not been done before".
+// ... if this has not been done before". Contact addresses are trimmed of
+// surrounding whitespace; the node's own address is dropped (a view must
+// never contain its owner) and duplicate contacts collapse to one entry.
 func (n *Node) Init(contacts []string) error {
+	self := n.transport.Addr()
 	descs := make([]core.Descriptor[string], 0, len(contacts))
 	for _, c := range contacts {
+		c = strings.TrimSpace(c)
 		if c == "" {
 			return errors.New("runtime: empty contact address")
+		}
+		if c == self || containsContact(descs, c) {
+			continue
 		}
 		descs = append(descs, core.Descriptor[string]{Addr: c, Hop: 0})
 	}
@@ -154,10 +162,8 @@ func (n *Node) Init(contacts []string) error {
 		n.state.Bootstrap(descs)
 		return nil
 	}
-	for _, d := range descs {
-		merged := core.Merge([]core.Descriptor[string]{d}, n.state.View().Descriptors())
-		n.state.View().SetAll(merged)
-	}
+	merged := core.Merge(descs, n.state.View().Descriptors())
+	n.state.View().SetAll(merged)
 	return nil
 }
 
@@ -306,6 +312,17 @@ func (n *Node) handleRequest(req transport.Request) (transport.Response, bool) {
 	defer n.mu.Unlock()
 	n.handled++
 	return n.state.HandleRequest(req)
+}
+
+// containsContact reports whether descs already holds addr. Contact lists
+// are tiny, so a linear scan is the right tool.
+func containsContact(descs []core.Descriptor[string], addr string) bool {
+	for _, d := range descs {
+		if d.Addr == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // hashString derives a stable 64-bit seed from an address (FNV-1a).

@@ -93,6 +93,73 @@ func TestInitValidation(t *testing.T) {
 	}
 }
 
+// Init must never let a node into its own view: the bootstrap path
+// delegates to core.Bootstrap (which filters self), and the merge path on
+// a non-empty view used to bypass that filter entirely.
+func TestInitFiltersSelf(t *testing.T) {
+	f := transport.NewFabric()
+	n, err := New(memConfig(core.Newscast), f.Factory("self"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Empty-view path: a contact list of only the node itself leaves the
+	// view empty rather than self-referential.
+	if err := n.Init([]string{n.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.View()) != 0 {
+		t.Fatalf("view after self-only Init = %v, want empty", n.View())
+	}
+
+	// Merge path (the regression): Init on a non-empty view used to merge
+	// the node's own address straight in, so GetPeer could return self.
+	if err := n.Init([]string{"peer-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Init([]string{n.Addr(), " peer-1 ", "peer-2", "peer-2"}); err != nil {
+		t.Fatal(err)
+	}
+	view := n.View()
+	if len(view) != 2 {
+		t.Errorf("view = %v, want exactly peer-1 and peer-2", view)
+	}
+	for _, d := range view {
+		if d.Addr == n.Addr() {
+			t.Fatalf("node's own address in view: %v", view)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		peer, err := n.GetPeer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peer == n.Addr() {
+			t.Fatal("GetPeer returned the node itself")
+		}
+	}
+}
+
+func TestInitTrimsAndRejectsBlankContacts(t *testing.T) {
+	f := transport.NewFabric()
+	n, err := New(memConfig(core.Newscast), f.Factory("trim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Init([]string{"  "}); err == nil {
+		t.Error("whitespace-only contact accepted")
+	}
+	if err := n.Init([]string{" peer-1 ", "peer-1"}); err != nil {
+		t.Fatal(err)
+	}
+	view := n.View()
+	if len(view) != 1 || view[0].Addr != "peer-1" {
+		t.Errorf("view = %v, want [peer-1@0]", view)
+	}
+}
+
 func TestClusterConvergesToFullViews(t *testing.T) {
 	f := transport.NewFabric()
 	nodes := buildCluster(t, f, core.Newscast, 16, nil)

@@ -212,8 +212,8 @@ func TestForEachPar(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	defs := All()
-	if len(defs) != 13 {
-		t.Fatalf("registry has %d entries want 13", len(defs))
+	if len(defs) != 14 {
+		t.Fatalf("registry has %d entries want 14", len(defs))
 	}
 	ids := map[string]bool{}
 	for _, d := range defs {
@@ -224,6 +224,13 @@ func TestFindAndAll(t *testing.T) {
 			t.Errorf("duplicate id %q", d.ID)
 		}
 		ids[d.ID] = true
+	}
+	// Exactly the live-cluster experiments take a collector.
+	for _, d := range defs {
+		wantLive := d.ID == "hostile" || d.ID == "bootstrap"
+		if (d.RunLive != nil) != wantLive {
+			t.Errorf("%s: RunLive presence = %v want %v", d.ID, d.RunLive != nil, wantLive)
+		}
 	}
 	if _, ok := Find("figure6"); !ok {
 		t.Error("figure6 not found")

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"strings"
+
+	"peersampling/internal/metrics"
 )
 
 // CSVer is implemented by experiment results that can emit their raw data
@@ -12,20 +14,29 @@ type CSVer interface {
 	CSV() map[string]string
 }
 
-// dynamicsCSV renders a set of per-protocol observation traces in long
-// form: protocol,cycle,metric,value.
-func dynamicsCSV(dyn []Dynamics) string {
-	var b strings.Builder
-	b.WriteString("protocol,cycle,metric,value\n")
+// dynamicsRows flattens a set of per-protocol observation traces into the
+// shared long-form row type, keyed by protocol. Renderers no longer
+// re-derive row formatting: the same metrics.LongRow carries the live
+// Dumper's output, which is what keeps simulator CSVs and live CSVs one
+// schema.
+func dynamicsRows(dyn []Dynamics) []metrics.LongRow {
+	var rows []metrics.LongRow
 	for _, d := range dyn {
+		proto := d.Protocol.String()
 		for _, metric := range []string{"clustering", "avgdegree", "pathlen"} {
 			s := d.SeriesOf(metric)
 			for i, cyc := range s.Cycles {
-				fmt.Fprintf(&b, "%s,%d,%s,%.6f\n", d.Protocol, cyc, metric, s.Values[i])
+				rows = append(rows, metrics.LongRow{Key: proto, Cycle: cyc, Metric: metric, Value: s.Values[i]})
 			}
 		}
 	}
-	return b.String()
+	return rows
+}
+
+// dynamicsCSV renders a set of per-protocol observation traces in long
+// form: protocol,cycle,metric,value.
+func dynamicsCSV(dyn []Dynamics) string {
+	return metrics.LongCSV("protocol", dynamicsRows(dyn))
 }
 
 // CSV implements CSVer.

@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"peersampling/internal/metrics"
 )
 
 func countLines(s string) int {
@@ -58,5 +60,50 @@ func TestFigureCSVs(t *testing.T) {
 	csv2 := fig2.CSV()["figure2_growing"]
 	if !strings.Contains(csv2, "pathlen") || !strings.Contains(csv2, "clustering") {
 		t.Error("figure2 CSV missing metrics")
+	}
+}
+
+// The simulator renderers and the live metrics dumper must emit one
+// long-form schema, so external tooling plots both without adapters. The
+// round trip through metrics.ParseLongCSV proves it: a figure CSV parses
+// with the same parser as a live dump, keys containing protocol-tuple
+// commas survive, and the fixed columns agree.
+func TestScenarioCSVSharesLiveDumpSchema(t *testing.T) {
+	fig3 := RunFigure3(tiny, 31)
+	simDoc := fig3.CSV()["figure3_lattice"]
+	simKey, simRows, err := metrics.ParseLongCSV(simDoc)
+	if err != nil {
+		t.Fatalf("scenario CSV does not parse as long form: %v", err)
+	}
+	if simKey != "protocol" {
+		t.Errorf("scenario key column = %q", simKey)
+	}
+	if len(simRows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Protocol tuples contain commas; the key must survive intact.
+	if !strings.HasPrefix(simRows[0].Key, "(") || !strings.HasSuffix(simRows[0].Key, ")") {
+		t.Errorf("protocol key mangled: %q", simRows[0].Key)
+	}
+
+	liveDoc := metrics.LongCSV("node", metrics.NodeSnapshot{
+		Node: "node00", Cycles: 41, Exchanges: 40, ViewSize: 15, HopMean: 2.5,
+	}.Rows())
+	liveKey, liveRows, err := metrics.ParseLongCSV(liveDoc)
+	if err != nil {
+		t.Fatalf("live dump does not parse as long form: %v", err)
+	}
+	if liveKey != "node" {
+		t.Errorf("live key column = %q", liveKey)
+	}
+	if len(liveRows) == 0 {
+		t.Fatal("no live rows")
+	}
+
+	// Same schema: only the key column's name differs.
+	simHeader := strings.SplitN(simDoc, "\n", 2)[0]
+	liveHeader := strings.SplitN(liveDoc, "\n", 2)[0]
+	if strings.TrimPrefix(simHeader, "protocol") != strings.TrimPrefix(liveHeader, "node") {
+		t.Errorf("schemas diverge: %q vs %q", simHeader, liveHeader)
 	}
 }

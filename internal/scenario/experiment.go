@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"peersampling/internal/core"
+	"peersampling/internal/metrics"
 	"peersampling/internal/sim"
 )
 
@@ -27,24 +28,41 @@ type Def struct {
 	ID    string
 	Title string
 	Run   func(sc Scale, seed uint64) Result
+	// RunLive is set on experiments that boot a live runtime cluster
+	// (real sockets, real time) and can register their nodes with a
+	// metrics.Collector for continuous observation — a nil collector
+	// behaves exactly like Run. It is nil for cycle-based experiments,
+	// which are observed through their own Result series instead.
+	RunLive func(sc Scale, seed uint64, coll *metrics.Collector) Result
 }
 
 // All returns the full experiment registry in paper order.
 func All() []Def {
 	return []Def{
-		{"table1", "Table 1: partitioning in the growing overlay scenario", func(sc Scale, seed uint64) Result { return RunTable1(sc, seed) }},
-		{"figure2", "Figure 2: dynamics of graph properties, growing scenario", func(sc Scale, seed uint64) Result { return RunFigure2(sc, seed) }},
-		{"figure3", "Figure 3: dynamics from lattice and random initialisation", func(sc Scale, seed uint64) Result { return RunFigure3(sc, seed) }},
-		{"figure4", "Figure 4: degree distributions from random initialisation", func(sc Scale, seed uint64) Result { return RunFigure4(sc, seed) }},
-		{"table2", "Table 2: dynamics of individual node degrees", func(sc Scale, seed uint64) Result { return RunTable2(sc, seed) }},
-		{"figure5", "Figure 5: autocorrelation of node degree over time", func(sc Scale, seed uint64) Result { return RunFigure5(sc, seed) }},
-		{"figure6", "Figure 6: connectivity after catastrophic node removal", func(sc Scale, seed uint64) Result { return RunFigure6(sc, seed) }},
-		{"figure7", "Figure 7: self-healing after 50% node failure", func(sc Scale, seed uint64) Result { return RunFigure7(sc, seed) }},
-		{"exclusion", "Section 4.3: why (head,*,*), (*,tail,*), (*,*,pull) are excluded", func(sc Scale, seed uint64) Result { return RunExclusion(sc, seed) }},
-		{"uniformity", "Sampling quality: getPeer() versus independent uniform sampling", func(sc Scale, seed uint64) Result { return RunUniformity(sc, seed) }},
-		{"churn", "Extension: steady-state behaviour under continuous churn", func(sc Scale, seed uint64) Result { return RunChurn(sc, seed) }},
-		{"hostile", "Extension: live cluster under connection flood and slowloris", func(sc Scale, seed uint64) Result { return RunHostile(sc, seed) }},
-		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }},
+		{"table1", "Table 1: partitioning in the growing overlay scenario", func(sc Scale, seed uint64) Result { return RunTable1(sc, seed) }, nil},
+		{"figure2", "Figure 2: dynamics of graph properties, growing scenario", func(sc Scale, seed uint64) Result { return RunFigure2(sc, seed) }, nil},
+		{"figure3", "Figure 3: dynamics from lattice and random initialisation", func(sc Scale, seed uint64) Result { return RunFigure3(sc, seed) }, nil},
+		{"figure4", "Figure 4: degree distributions from random initialisation", func(sc Scale, seed uint64) Result { return RunFigure4(sc, seed) }, nil},
+		{"table2", "Table 2: dynamics of individual node degrees", func(sc Scale, seed uint64) Result { return RunTable2(sc, seed) }, nil},
+		{"figure5", "Figure 5: autocorrelation of node degree over time", func(sc Scale, seed uint64) Result { return RunFigure5(sc, seed) }, nil},
+		{"figure6", "Figure 6: connectivity after catastrophic node removal", func(sc Scale, seed uint64) Result { return RunFigure6(sc, seed) }, nil},
+		{"figure7", "Figure 7: self-healing after 50% node failure", func(sc Scale, seed uint64) Result { return RunFigure7(sc, seed) }, nil},
+		{"exclusion", "Section 4.3: why (head,*,*), (*,tail,*), (*,*,pull) are excluded", func(sc Scale, seed uint64) Result { return RunExclusion(sc, seed) }, nil},
+		{"uniformity", "Sampling quality: getPeer() versus independent uniform sampling", func(sc Scale, seed uint64) Result { return RunUniformity(sc, seed) }, nil},
+		{"churn", "Extension: steady-state behaviour under continuous churn", func(sc Scale, seed uint64) Result { return RunChurn(sc, seed) }, nil},
+		{
+			"bootstrap", "Extension: live cluster bootstrap convergence over real sockets",
+			func(sc Scale, seed uint64) Result { return RunLiveBootstrap(sc, seed, nil) },
+			func(sc Scale, seed uint64, coll *metrics.Collector) Result { return RunLiveBootstrap(sc, seed, coll) },
+		},
+		{
+			"hostile", "Extension: live cluster under connection flood and slowloris",
+			func(sc Scale, seed uint64) Result { return RunHostile(sc, seed) },
+			func(sc Scale, seed uint64, coll *metrics.Collector) Result {
+				return RunHostileCollected(sc, seed, coll)
+			},
+		},
+		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }, nil},
 	}
 }
 

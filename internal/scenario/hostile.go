@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"peersampling/internal/core"
+	"peersampling/internal/metrics"
 	"peersampling/internal/runtime"
 	"peersampling/internal/transport"
 )
@@ -124,6 +125,16 @@ func (r *HostileResult) Render() string {
 // the overlay above still converging. The seed drives protocol
 // randomness only; socket timing is inherently real.
 func RunHostile(sc Scale, seed uint64) *HostileResult {
+	return RunHostileCollected(sc, seed, nil)
+}
+
+// RunHostileCollected is RunHostile with the cluster registered on a
+// metrics.Collector (nil skips registration): node 0 as "victim", the
+// rest as "peerNN". Serving the collector while the experiment runs (see
+// cmd/experiments -metrics-addr) exposes the attack as a live time series
+// — accept rejects and evictions climbing on the victim while every
+// node's view-size gauge holds.
+func RunHostileCollected(sc Scale, seed uint64, coll *metrics.Collector) *HostileResult {
 	p := hostileDerive(sc)
 	res := &HostileResult{Params: p}
 
@@ -149,6 +160,13 @@ func RunHostile(sc Scale, seed uint64) *HostileResult {
 			panic(fmt.Sprintf("scenario: hostile cluster node %d: %v", i, err))
 		}
 		nodes = append(nodes, n)
+		if coll != nil {
+			if i == 0 {
+				coll.Register("victim", n)
+			} else {
+				coll.Register(fmt.Sprintf("peer%02d", i), n)
+			}
+		}
 	}
 	live := make(map[string]bool, p.Nodes)
 	for _, n := range nodes {

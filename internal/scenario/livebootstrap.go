@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/metrics"
+	"peersampling/internal/runtime"
+	"peersampling/internal/transport"
+)
+
+// The live bootstrap experiment is the runtime sibling of the simulator's
+// growing scenario (Section 5.1): a cluster of real nodes over loopback
+// TCP, every joiner initialised with a single contact — the first node —
+// and left to gossip until each view holds every other member. Where the
+// simulator measures the resulting topology, this experiment measures the
+// deployment-facing questions: how long bootstrap convergence takes in
+// real time, and what it costs on the wire. Timings are real-network
+// nondeterministic; the invariants reported (full convergence, no failed
+// exchanges against a healthy cluster being fatal) are not.
+
+// liveBootstrapParams derives the live cluster's shape from a simulation
+// Scale, the same way the hostile experiment does: small enough that every
+// node can own a real listener.
+type liveBootstrapParams struct {
+	Nodes    int           // live cluster size
+	ViewSize int           // view capacity, capped below cluster size
+	Period   time.Duration // gossip period T
+}
+
+func liveBootstrapDerive(sc Scale) liveBootstrapParams {
+	nodes := sc.N / 50
+	if nodes < 8 {
+		nodes = 8
+	}
+	if nodes > 24 {
+		nodes = 24
+	}
+	view := sc.ViewSize
+	if view > nodes-1 {
+		view = nodes - 1
+	}
+	return liveBootstrapParams{
+		Nodes:    nodes,
+		ViewSize: view,
+		Period:   20 * time.Millisecond,
+	}
+}
+
+// LiveBootstrapResult reports convergence time and wire cost of
+// bootstrapping a live cluster from a single contact.
+type LiveBootstrapResult struct {
+	Params liveBootstrapParams
+
+	// CompleteViews counts nodes whose final view contains every other
+	// member; convergence means all of them.
+	CompleteViews int
+	// ConvergeTime is the wall-clock time from starting the cluster until
+	// every view was complete (or the bounded wait expired).
+	ConvergeTime time.Duration
+	// Cluster-wide totals over the run.
+	Exchanges uint64
+	Failures  uint64
+	Served    uint64
+	// Wire sums every node's transport counters; BytesOut across the
+	// cluster is the total bootstrap traffic.
+	Wire transport.Stats
+}
+
+// ID implements Result.
+func (r *LiveBootstrapResult) ID() string { return "bootstrap" }
+
+// Converged reports whether every node's view reached every other member.
+func (r *LiveBootstrapResult) Converged() bool {
+	return r.CompleteViews == r.Params.Nodes
+}
+
+// Render implements Result.
+func (r *LiveBootstrapResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Live bootstrap: single-contact cluster convergence over loopback TCP\n")
+	fmt.Fprintf(&b, "cluster: %d nodes, c=%d, T=%v, tcp backend, one contact node\n",
+		r.Params.Nodes, r.Params.ViewSize, r.Params.Period)
+	fmt.Fprintf(&b, "%-34s %10s\n", "", "value")
+	fmt.Fprintf(&b, "%-34s %7d/%2d\n", "complete views", r.CompleteViews, r.Params.Nodes)
+	fmt.Fprintf(&b, "%-34s %10v\n", "time to full views", r.ConvergeTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-34s %10d\n", "active exchanges completed", r.Exchanges)
+	fmt.Fprintf(&b, "%-34s %10d\n", "exchanges failed", r.Failures)
+	fmt.Fprintf(&b, "%-34s %10d\n", "passive exchanges served", r.Served)
+	fmt.Fprintf(&b, "%-34s %10d\n", "connections dialed", r.Wire.Dials)
+	fmt.Fprintf(&b, "%-34s %10d\n", "bytes on the wire (out)", r.Wire.BytesOut)
+	fmt.Fprintf(&b, "converged: %v\n", r.Converged())
+	return b.String()
+}
+
+// RunLiveBootstrap boots the cluster, waits (bounded) for every view to
+// complete and reports totals. A non-nil collector gets every node
+// registered as "nodeNN" before the cluster starts, so a scrape or dump
+// attached by cmd/experiments observes the whole convergence transient.
+// The seed drives protocol randomness only; socket timing is real.
+func RunLiveBootstrap(sc Scale, seed uint64, coll *metrics.Collector) *LiveBootstrapResult {
+	p := liveBootstrapDerive(sc)
+	res := &LiveBootstrapResult{Params: p}
+
+	nodes := make([]*runtime.Node, 0, p.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for i := 0; i < p.Nodes; i++ {
+		factory, err := transport.NewFactory("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err) // registry always knows "tcp"
+		}
+		n, err := runtime.New(runtime.Config{
+			Protocol: core.Newscast,
+			ViewSize: p.ViewSize,
+			Period:   p.Period,
+			Seed:     mix(seed, i),
+		}, factory)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: bootstrap cluster node %d: %v", i, err))
+		}
+		nodes = append(nodes, n)
+		if coll != nil {
+			coll.Register(fmt.Sprintf("node%02d", i), n)
+		}
+	}
+	live := make(map[string]bool, p.Nodes)
+	for _, n := range nodes {
+		live[n.Addr()] = true
+	}
+
+	start := time.Now()
+	contact := nodes[0]
+	for i, n := range nodes {
+		if i > 0 {
+			_ = n.Init([]string{contact.Addr()})
+		}
+		_ = n.Start()
+	}
+
+	deadline := time.Now().Add(20 * p.Period * time.Duration(p.Nodes))
+	for {
+		complete := 0
+		for _, n := range nodes {
+			if countKnownPeers(n, live) == p.Nodes-1 {
+				complete++
+			}
+		}
+		res.CompleteViews = complete
+		if complete == p.Nodes || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(p.Period)
+	}
+	res.ConvergeTime = time.Since(start)
+
+	// Stop the cluster before tallying so the totals are a consistent
+	// final state (Close is idempotent; the deferred close becomes a
+	// no-op). Views and counters stay readable on closed nodes, which is
+	// also what lets an attached collector snapshot the end state.
+	for _, n := range nodes {
+		_ = n.Close()
+	}
+	for _, n := range nodes {
+		_, ex, fail, served := n.Stats()
+		res.Exchanges += ex
+		res.Failures += fail
+		res.Served += served
+		if ts, ok := n.TransportStats(); ok {
+			res.Wire.Add(ts)
+		}
+	}
+	return res
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"peersampling/internal/metrics"
+)
+
+// The live bootstrap scenario must converge a real loopback TCP cluster
+// from a single contact, and a collector attached to it must observe the
+// cluster: every node registered, wire counters moving, views populated.
+// Run under -race in CI.
+func TestLiveBootstrapConvergesAndIsObservable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket scenario")
+	}
+	coll := metrics.New()
+	res := RunLiveBootstrap(Quick, 7, coll)
+
+	if !res.Converged() {
+		t.Fatalf("cluster did not converge: %d/%d complete views", res.CompleteViews, res.Params.Nodes)
+	}
+	if res.Exchanges == 0 || res.Served == 0 {
+		t.Fatalf("no gossip happened: %+v", res)
+	}
+	if res.Wire.Dials == 0 || res.Wire.BytesOut == 0 {
+		t.Fatalf("wire counters flat: %+v", res.Wire)
+	}
+	if res.ID() != "bootstrap" {
+		t.Fatalf("ID() = %q", res.ID())
+	}
+	for _, want := range []string{"complete views", "bytes on the wire", "converged: true"} {
+		if !strings.Contains(res.Render(), want) {
+			t.Fatalf("Render() missing %q:\n%s", want, res.Render())
+		}
+	}
+
+	if coll.Len() != res.Params.Nodes {
+		t.Fatalf("collector holds %d sources want %d", coll.Len(), res.Params.Nodes)
+	}
+	// The nodes are closed by now but remain observable: the snapshots
+	// must carry the converged views and non-zero wire counters.
+	snaps := coll.Snapshot()
+	var exchanges uint64
+	for _, s := range snaps {
+		if s.Wire == nil {
+			t.Fatalf("node %s snapshot has no wire counters", s.Node)
+		}
+		if s.ViewSize == 0 {
+			t.Errorf("node %s snapshot shows an empty view after convergence", s.Node)
+		}
+		exchanges += s.Exchanges
+	}
+	if exchanges != res.Exchanges {
+		t.Errorf("collector sees %d exchanges, result reports %d", exchanges, res.Exchanges)
+	}
+	if snaps[0].Node != "node00" {
+		t.Errorf("first registered node = %q want node00", snaps[0].Node)
+	}
+}

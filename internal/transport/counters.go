@@ -21,9 +21,11 @@ type Stats struct {
 	FramesIn  uint64
 	// DatagramsDropped counts messages lost to the datagram nature of a
 	// backend: incoming datagrams or frames discarded because they were
-	// oversized, truncated or failed to decode, plus (UDP only) pull
-	// exchanges that timed out awaiting a response datagram — the
-	// client-visible face of a lost request or reply.
+	// oversized, truncated or failed to decode; (UDP only) pull exchanges
+	// that timed out awaiting a response datagram — the client-visible
+	// face of a lost request or reply; and (UDP only) response datagrams
+	// the serving side could not send, whether unencodable, oversized or
+	// failed at the socket write.
 	DatagramsDropped uint64
 	// AcceptRejects counts inbound work refused at the Limits.MaxConns
 	// cap: TCP connections closed straight after accept, and UDP
@@ -43,6 +45,47 @@ type Stats struct {
 // counters. The runtime surfaces these alongside Node.Stats.
 type StatsReporter interface {
 	TransportStats() Stats
+}
+
+// NamedCounter pairs one Stats counter with a stable snake_case name, the
+// identifier exporters embed in metric names and CSV rows.
+type NamedCounter struct {
+	Name  string
+	Value uint64
+}
+
+// Named enumerates every counter of the snapshot as (name, value) pairs in
+// declaration order. Exporters (internal/metrics, the psnode reporter)
+// iterate this instead of naming fields, so a counter added to Stats
+// cannot silently miss the export: a reflection test fails the build of
+// this package until the new field is added here.
+func (s Stats) Named() []NamedCounter {
+	return []NamedCounter{
+		{"dials", s.Dials},
+		{"reuses", s.Reuses},
+		{"bytes_out", s.BytesOut},
+		{"bytes_in", s.BytesIn},
+		{"frames_out", s.FramesOut},
+		{"frames_in", s.FramesIn},
+		{"datagrams_dropped", s.DatagramsDropped},
+		{"accept_rejects", s.AcceptRejects},
+		{"keepalive_evictions", s.KeepAliveEvictions},
+	}
+}
+
+// Add accumulates another snapshot into s, for cluster-wide totals. Like
+// Named, it is covered by the exhaustiveness test, so a new counter
+// cannot be silently left out of aggregation.
+func (s *Stats) Add(o Stats) {
+	s.Dials += o.Dials
+	s.Reuses += o.Reuses
+	s.BytesOut += o.BytesOut
+	s.BytesIn += o.BytesIn
+	s.FramesOut += o.FramesOut
+	s.FramesIn += o.FramesIn
+	s.DatagramsDropped += o.DatagramsDropped
+	s.AcceptRejects += o.AcceptRejects
+	s.KeepAliveEvictions += o.KeepAliveEvictions
 }
 
 // counters is the atomic backing store shared by the TCP, pooled-TCP and

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Stats.Named must enumerate every field of Stats: each field set to a
+// distinct value must surface under exactly one name, and the pair count
+// must match the field count. Adding a counter to Stats without extending
+// Named fails here, which is the whole point of the enumeration.
+func TestStatsNamedIsExhaustive(t *testing.T) {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	tp := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		if tp.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %s, not uint64; update Named and this test",
+				tp.Field(i).Name, tp.Field(i).Type)
+		}
+		v.Field(i).SetUint(uint64(i) + 1)
+	}
+
+	// Add must accumulate every field: zero + s == s.
+	var sum Stats
+	sum.Add(s)
+	if sum != s {
+		t.Errorf("Add dropped fields: %+v != %+v", sum, s)
+	}
+
+	named := s.Named()
+	if len(named) != v.NumField() {
+		t.Fatalf("Named() has %d entries, Stats has %d fields", len(named), v.NumField())
+	}
+	seenName := map[string]bool{}
+	seenValue := map[uint64]bool{}
+	for _, c := range named {
+		if c.Name == "" || seenName[c.Name] {
+			t.Errorf("duplicate or empty counter name %q", c.Name)
+		}
+		seenName[c.Name] = true
+		if c.Value == 0 || c.Value > uint64(v.NumField()) || seenValue[c.Value] {
+			t.Errorf("counter %q carries value %d: not a distinct field value", c.Name, c.Value)
+		}
+		seenValue[c.Value] = true
+	}
+}
+
+func TestCountersSnapshotMatchesNamed(t *testing.T) {
+	var c counters
+	c.dials.Add(3)
+	c.noteWrite(10)
+	c.noteRead(20)
+	c.dropped.Add(2)
+	c.acceptRejects.Add(4)
+	c.kaEvictions.Add(5)
+	c.reuses.Add(6)
+
+	want := map[string]uint64{
+		"dials": 3, "reuses": 6, "bytes_out": 10, "bytes_in": 20,
+		"frames_out": 1, "frames_in": 1, "datagrams_dropped": 2,
+		"accept_rejects": 4, "keepalive_evictions": 5,
+	}
+	for _, nc := range c.snapshot().Named() {
+		if nc.Value != want[nc.Name] {
+			t.Errorf("%s = %d want %d", nc.Name, nc.Value, want[nc.Name])
+		}
+	}
+}

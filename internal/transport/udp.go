@@ -150,9 +150,13 @@ func (t *UDP) handleDatagram(req Request, src *net.UDPAddr) {
 		t.stats.dropped.Add(1)
 		return
 	}
-	if _, err := t.conn.WriteToUDP(out, src); err == nil {
-		t.stats.noteWrite(len(out))
+	if _, err := t.conn.WriteToUDP(out, src); err != nil {
+		// The response is gone and the puller will time out; without a
+		// counter move this failure mode is invisible to the exporter.
+		t.stats.dropped.Add(1)
+		return
 	}
+	t.stats.noteWrite(len(out))
 }
 
 // Exchange implements Transport. Each exchange uses a short-lived

@@ -172,6 +172,42 @@ func TestUDPClose(t *testing.T) {
 	}
 }
 
+// A response datagram whose WriteToUDP fails is lost exactly like a
+// dropped datagram, so it must move DatagramsDropped — a silent return
+// here was a blind spot in the exported wire counters.
+func TestUDPFailedResponseWriteCounted(t *testing.T) {
+	server := echoUDP(t)
+	before := server.TransportStats()
+
+	// The server socket is bound to IPv4 loopback; a non-mappable IPv6
+	// destination makes WriteToUDP fail deterministically.
+	badSrc := &net.UDPAddr{IP: net.ParseIP("fd00::1"), Port: 9}
+	server.handleDatagram(Request{From: "client", WantReply: true}, badSrc)
+
+	after := server.TransportStats()
+	if got := after.DatagramsDropped - before.DatagramsDropped; got != 1 {
+		t.Errorf("DatagramsDropped moved by %d, want 1", got)
+	}
+	if after.FramesOut != before.FramesOut {
+		t.Errorf("FramesOut moved on a failed write: %d -> %d", before.FramesOut, after.FramesOut)
+	}
+
+	// Control: a writable source counts the frame and drops nothing.
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	server.handleDatagram(Request{From: "client", WantReply: true}, sink.LocalAddr().(*net.UDPAddr))
+	final := server.TransportStats()
+	if final.DatagramsDropped != after.DatagramsDropped {
+		t.Errorf("successful write counted as dropped")
+	}
+	if final.FramesOut != after.FramesOut+1 {
+		t.Errorf("successful write not counted: FramesOut %d -> %d", after.FramesOut, final.FramesOut)
+	}
+}
+
 func TestRegistryResolvesAllBackends(t *testing.T) {
 	want := []string{"tcp", "tcp-pooled", "udp"}
 	got := Backends()

@@ -55,9 +55,11 @@
 package peersampling
 
 import (
+	"io"
 	"time"
 
 	"peersampling/internal/core"
+	"peersampling/internal/metrics"
 	"peersampling/internal/runtime"
 	"peersampling/internal/scenario"
 	"peersampling/internal/sim"
@@ -236,6 +238,59 @@ func NewTransportFactoryLimits(name, listen string, lim TransportLimits) (Transp
 // TransportBackends returns the sorted names of the registered
 // real-network transport backends.
 func TransportBackends() []string { return transport.Backends() }
+
+// Observability (re-exported from internal/metrics): continuous
+// instrumentation for live deployments.
+type (
+	// Collector snapshots registered nodes: protocol counters, all wire
+	// counters and view-shape gauges. Register a *Node and expose the
+	// collector through a MetricsServer and/or a MetricsDumper.
+	Collector = metrics.Collector
+	// MetricsServer serves a Collector's snapshots on HTTP GET /metrics
+	// in the Prometheus text exposition format.
+	MetricsServer = metrics.Server
+	// MetricsDumper appends periodic snapshot rounds as long-form CSV
+	// (node,cycle,metric,value — the schema the experiment renderers
+	// emit) or JSONL.
+	MetricsDumper = metrics.Dumper
+	// MetricsSnapshot is one node's observable state at one instant.
+	MetricsSnapshot = metrics.NodeSnapshot
+	// MetricsFormat selects a dumper's output shape.
+	MetricsFormat = metrics.Format
+)
+
+// Dumper output formats.
+const (
+	MetricsCSV   = metrics.FormatCSV
+	MetricsJSONL = metrics.FormatJSONL
+)
+
+// NewCollector returns an empty metrics collector.
+func NewCollector() *Collector { return metrics.New() }
+
+// NewMetricsServer serves the collector on addr (":0" picks an ephemeral
+// port, reported by the server's Addr method) until Close.
+func NewMetricsServer(c *Collector, addr string) (*MetricsServer, error) {
+	return metrics.NewServer(c, addr)
+}
+
+// NewMetricsDumper returns a dumper appending snapshot rounds to w; call
+// Dump per round or Start/Stop for a background ticker.
+func NewMetricsDumper(c *Collector, w io.Writer, format MetricsFormat) *MetricsDumper {
+	return metrics.NewDumper(c, w, format)
+}
+
+// NewMetricsFileDumper returns a dumper appending to the file at path,
+// creating it if needed: the format follows the extension and the CSV
+// header is only written into an empty file, so restarts append cleanly.
+// Close the dumper (after Stop) to close the file.
+func NewMetricsFileDumper(c *Collector, path string) (*MetricsDumper, error) {
+	return metrics.NewFileDumper(c, path)
+}
+
+// MetricsFormatForPath picks the dump format implied by a file extension
+// (".jsonl"/".ndjson" select JSONL, anything else CSV).
+func MetricsFormatForPath(path string) MetricsFormat { return metrics.FormatForPath(path) }
 
 // Simulation (re-exported from internal/sim) for experimentation at scale
 // without real sockets or timers.

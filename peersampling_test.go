@@ -1,6 +1,10 @@
 package peersampling_test
 
 import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -216,5 +220,73 @@ func TestFacadeTransportRegistry(t *testing.T) {
 	defer node.Close()
 	if _, err := peersampling.NewTransportFactory("nope", "127.0.0.1:0"); err == nil {
 		t.Error("unknown backend accepted")
+	}
+}
+
+// TestFacadeObservability drives the exported metrics surface the way a
+// deployment would: a collector over a live fabric pair, scraped over
+// HTTP and dumped as CSV.
+func TestFacadeObservability(t *testing.T) {
+	fabric := peersampling.NewFabric()
+	cfg := peersampling.NodeConfig{
+		Protocol: peersampling.Newscast(),
+		ViewSize: 4,
+		Period:   time.Hour,
+	}
+	a, err := peersampling.NewNode(cfg, fabric.Factory("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := peersampling.NewNode(cfg, fabric.Factory("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Init([]string{b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Init([]string{a.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	b.Tick()
+
+	coll := peersampling.NewCollector()
+	coll.Register("a", a)
+	coll.Register("b", b)
+
+	srv, err := peersampling.NewMetricsServer(coll, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `peersampling_cycles_total{node="a"`) {
+		t.Errorf("scrape missing node a cycles:\n%s", body)
+	}
+
+	var buf bytes.Buffer
+	if peersampling.MetricsFormatForPath("x.jsonl") != peersampling.MetricsJSONL {
+		t.Error("jsonl extension not detected")
+	}
+	dumper := peersampling.NewMetricsDumper(coll, &buf, peersampling.MetricsCSV)
+	if err := dumper.Dump(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "node,cycle,metric,value\n") {
+		t.Errorf("dump header wrong:\n%s", buf.String())
+	}
+	snaps := coll.Snapshot()
+	if len(snaps) != 2 || snaps[0].Cycles != 1 {
+		t.Errorf("snapshots wrong: %+v", snaps)
 	}
 }

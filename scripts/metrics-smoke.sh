@@ -1,0 +1,55 @@
+#!/bin/sh
+# Smoke-test the live observability path end to end: build psnode, start
+# it with /metrics on an ephemeral port, scrape the endpoint and check
+# that a known protocol counter and a known wire counter are exported.
+# This is the guard that keeps the Prometheus export from rotting
+# silently: CI fails the moment psnode stops serving the families the
+# docs promise. Run from the repository root.
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/psnode" ./cmd/psnode
+
+"$tmp/psnode" -listen 127.0.0.1:0 -period 100ms -report 500ms \
+    -metrics-addr 127.0.0.1:0 >"$tmp/log" 2>&1 &
+pid=$!
+
+# psnode logs the bound metrics address; wait for it to appear.
+addr=""
+i=0
+while [ "$i" -lt 50 ]; do
+    addr=$(sed -n 's|.*serving http://\([^/]*\)/metrics.*|\1|p' "$tmp/log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "psnode exited early:" >&2; cat "$tmp/log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "metrics address never appeared in the log:" >&2
+    cat "$tmp/log" >&2
+    exit 1
+fi
+
+if command -v curl >/dev/null 2>&1; then
+    body=$(curl -fsS "http://$addr/metrics")
+else
+    body=$(wget -qO- "http://$addr/metrics")
+fi
+
+for family in peersampling_cycles_total peersampling_view_size \
+    peersampling_transport_dials_total peersampling_transport_keepalive_evictions_total; do
+    if ! printf '%s\n' "$body" | grep -q "^$family{"; then
+        echo "family $family missing from /metrics:" >&2
+        printf '%s\n' "$body" >&2
+        exit 1
+    fi
+done
+
+echo "metrics smoke OK: scraped $addr"
