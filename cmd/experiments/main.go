@@ -6,22 +6,33 @@
 //	experiments -scale quick                  # all experiments, seconds
 //	experiments -scale full -run table1,figure7
 //	experiments -run hostile -metrics-addr 127.0.0.1:9090 -metrics-csv run.csv
+//	experiments -run bootstrap,livechurn -driver subprocess -psnode ./psnode
 //
 // Scales: quick (N=500), medium (N=2500), full (the paper's N=10^4,
 // c=30, 300 cycles, 100 repetitions). Experiment IDs: table1, figure2,
 // figure3, figure4, table2, figure5, figure6, figure7, exclusion,
-// uniformity, churn, ablation, plus the live-socket extensions
-// "bootstrap" (single-contact cluster convergence) and "hostile"
-// (connection flood + slowloris against a real cluster) — the two
-// experiments whose numbers are timing-dependent rather than seeded.
+// uniformity, churn, ablation, plus the live extensions "bootstrap"
+// (single-contact cluster convergence), "hostile" (connection flood +
+// slowloris against a real cluster) and "livechurn" (kill and respawn
+// waves against the fleet) — the experiments whose numbers are
+// timing-dependent rather than seeded.
+//
+// The live experiments run on a fleet driver selected with -driver:
+// "inproc" (default) keeps every node a goroutine in this process;
+// "subprocess" forks one real psnode process per node (binary from
+// -psnode, $PSNODE_BIN, or psnode on $PATH) and drives the fleet through
+// each daemon's control agent, so churn and hostility cross real process
+// boundaries.
 //
 // The live experiments can be observed while they run: -metrics-addr
-// serves every cluster node's counters and view gauges on a Prometheus
-// /metrics endpoint for the duration of the process, and -metrics-csv
-// appends periodic long-form snapshots (node,cycle,metric,value — the
-// same schema the figure CSVs use) so a live run yields a time series
-// like any simulated one. Both flags only affect experiments that boot
-// live clusters; cycle-based experiments emit their series via -csv.
+// serves every cluster node's counters, exchange-latency histogram and
+// view gauges on a Prometheus /metrics endpoint for the duration of the
+// process (subprocess members are scraped through their agents and show
+// up as stale sources once killed), and -metrics-csv appends periodic
+// long-form snapshots (node,cycle,metric,value — the same schema the
+// figure CSVs use) so a live run yields a time series like any simulated
+// one. These flags only affect experiments that boot live clusters;
+// cycle-based experiments emit their series via -csv.
 package main
 
 import (
@@ -29,10 +40,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"peersampling/internal/fleet"
 	"peersampling/internal/metrics"
 	"peersampling/internal/scenario"
 )
@@ -61,6 +74,11 @@ func run() error {
 			"append periodic live-experiment snapshots to this file (long-form CSV; .jsonl selects JSONL)")
 		metricsEvery = flag.Duration("metrics-interval", 250*time.Millisecond,
 			"snapshot interval for -metrics-csv")
+
+		driver = flag.String("driver", fleet.DriverInproc,
+			fmt.Sprintf("fleet driver for live experiments, one of %v", fleet.Drivers()))
+		psnodeBin = flag.String("psnode", "",
+			"psnode binary for -driver=subprocess (default: $PSNODE_BIN, then psnode on $PATH)")
 	)
 	flag.Parse()
 
@@ -103,6 +121,17 @@ func run() error {
 		}()
 	}
 
+	env := scenario.LiveEnv{Collector: coll, Driver: *driver, Psnode: *psnodeBin}
+	if *driver == fleet.DriverSubprocess && env.Psnode == "" {
+		if fromEnv := os.Getenv("PSNODE_BIN"); fromEnv != "" {
+			env.Psnode = fromEnv
+		} else if onPath, err := exec.LookPath("psnode"); err == nil {
+			env.Psnode = onPath
+		} else {
+			return fmt.Errorf("-driver=subprocess needs a psnode binary: pass -psnode, set $PSNODE_BIN, or put psnode on $PATH (go build ./cmd/psnode)")
+		}
+	}
+
 	sc, err := scenario.ScaleByName(*scaleName)
 	if err != nil {
 		return err
@@ -126,8 +155,16 @@ func run() error {
 	for _, def := range defs {
 		start := time.Now()
 		var result scenario.Result
-		if coll != nil && def.RunLive != nil {
-			result = def.RunLive(sc, *seed, coll)
+		if def.RunLive != nil {
+			// Live experiments go through the environment-aware entry
+			// point; an error (say, the psnode fleet failing to spawn)
+			// returns through run so the deferred collector/dumper
+			// teardown still happens, instead of dying in a panic.
+			var err error
+			result, err = def.RunLive(sc, *seed, env)
+			if err != nil {
+				return fmt.Errorf("%s: %w", def.ID, err)
+			}
 		} else {
 			result = def.Run(sc, *seed)
 		}

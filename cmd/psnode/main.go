@@ -19,11 +19,18 @@
 //
 // The daemon is continuously observable: -metrics-addr serves Prometheus
 // text-format metrics on GET /metrics (protocol counters, every wire
-// counter, view-shape gauges), and -metrics-csv appends the same
-// snapshots every -report interval as long-form CSV
-// (node,cycle,metric,value — the schema the experiment renderers emit;
-// a .jsonl extension selects JSONL instead). The periodic report log is
-// driven by the same collector. Stop with SIGINT/SIGTERM.
+// counter, the exchange-latency histogram, view-shape gauges), and
+// -metrics-csv appends the same snapshots every -report interval as
+// long-form CSV (node,cycle,metric,value — the schema the experiment
+// renderers emit; a .jsonl extension selects JSONL instead). The periodic
+// report log is driven by the same collector. Stop with SIGINT/SIGTERM.
+//
+// The daemon is also remotely drivable: -control-addr serves the fleet
+// agent (GET /healthz, /snapshot, /view; POST /stop — see
+// internal/fleet's package doc for the contract), which is how the
+// subprocess cluster driver herds psnode fleets, and -ready-file makes
+// the daemon atomically write its bound addresses as JSON once it is up,
+// so a parent process discovers ephemeral ports without parsing logs.
 package main
 
 import (
@@ -33,10 +40,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"peersampling"
+	"peersampling/internal/fleet"
 )
 
 func main() {
@@ -70,6 +79,10 @@ func run() error {
 			"serve Prometheus text-format metrics on http://<addr>/metrics (empty = disabled)")
 		metricsCSV = flag.String("metrics-csv", "",
 			"append periodic metric snapshots to this file; .jsonl selects JSONL, anything else long-form CSV (empty = disabled)")
+		controlAddr = flag.String("control-addr", "",
+			"serve the fleet control agent on this address: GET /healthz, /snapshot, /view; POST /stop (empty = disabled)")
+		readyFile = flag.String("ready-file", "",
+			"atomically write the daemon's bound addresses as JSON to this path once up (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -124,6 +137,27 @@ func run() error {
 		log.Printf("metrics: dumping to %s every %v", *metricsCSV, *report)
 	}
 
+	// stopRequests unifies the two ways the daemon is told to exit: POSIX
+	// signals and the control agent's POST /stop.
+	stopRequests := make(chan struct{})
+	var stopOnce sync.Once
+	requestStop := func() { stopOnce.Do(func() { close(stopRequests) }) }
+
+	info := fleet.AgentInfo{
+		PID:             os.Getpid(),
+		Addr:            node.Addr(),
+		StartUnixMillis: time.Now().UnixMilli(),
+	}
+	if *controlAddr != "" {
+		agent, err := fleet.NewAgent(*controlAddr, node, requestStop)
+		if err != nil {
+			return err
+		}
+		defer agent.Close()
+		info = agent.Info()
+		log.Printf("control agent on http://%s (healthz, snapshot, view, stop)", agent.Addr())
+	}
+
 	if *contacts != "" {
 		if err := node.Init(strings.Split(*contacts, ",")); err != nil {
 			return err
@@ -134,6 +168,14 @@ func run() error {
 	}
 	log.Printf("listening on %s (%s), protocol %s, c=%d, period %v", node.Addr(), *backend, proto, *viewSize, *period)
 
+	// The ready file is written last: its existence promises every
+	// listener above is bound and gossip is running.
+	if *readyFile != "" {
+		if err := fleet.WriteReady(*readyFile, info); err != nil {
+			return err
+		}
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	ticker := time.NewTicker(*report)
@@ -142,6 +184,9 @@ func run() error {
 		select {
 		case <-stop:
 			log.Print("shutting down")
+			return nil
+		case <-stopRequests:
+			log.Print("shutting down (control agent stop)")
 			return nil
 		case <-ticker.C:
 			view := node.View()
@@ -161,6 +206,10 @@ func run() error {
 						parts = append(parts, fmt.Sprintf("%s=%d", c.Name, c.Value))
 					}
 					log.Printf("wire: %s", strings.Join(parts, " "))
+				}
+				if s.Latency != nil && s.Latency.Count > 0 {
+					log.Printf("latency: p50=%.2fms p99=%.2fms over %d exchanges",
+						s.Latency.Quantile(0.50)*1000, s.Latency.Quantile(0.99)*1000, s.Latency.Count)
 				}
 			}
 			if peer, err := node.GetPeer(); err == nil {

@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"peersampling/internal/metrics"
+	"peersampling/internal/runtime"
+	"peersampling/internal/transport"
+)
+
+// AgentInfo identifies a running node to its parent: the payload of the
+// agent's /healthz endpoint and of the ready file a psnode writes once
+// its listeners are bound.
+type AgentInfo struct {
+	PID int `json:"pid"`
+	// Addr is the gossip address peers dial.
+	Addr string `json:"addr"`
+	// ControlAddr is the agent's own HTTP listen address; empty when the
+	// daemon runs without an agent.
+	ControlAddr string `json:"control_addr"`
+	// StartUnixMillis is when the daemon came up.
+	StartUnixMillis int64 `json:"start_unix_ms"`
+}
+
+// viewEntry is the wire shape of one /view descriptor. core.Descriptor
+// carries no JSON tags, and the agent contract should not change if it
+// ever grows some.
+type viewEntry struct {
+	Addr string `json:"addr"`
+	Hop  int32  `json:"hop"`
+}
+
+// Agent serves a node's control surface over HTTP: health, view dump,
+// counter snapshot and graceful stop (the contract in the package doc).
+// psnode starts one when given -control-addr; the subprocess cluster
+// driver is its main client.
+type Agent struct {
+	info AgentInfo
+	node *runtime.Node
+	ln   net.Listener
+	srv  *http.Server
+
+	stopOnce sync.Once
+	stop     func()
+}
+
+// NewAgent serves the control surface for node on addr ("127.0.0.1:0"
+// picks an ephemeral port, reported by Addr). stop is invoked (once, on
+// its own goroutine) when a client POSTs /stop; it should make the
+// daemon's main loop exit as if signalled.
+func NewAgent(addr string, node *runtime.Node, stop func()) (*Agent, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: agent listen %s: %w", addr, err)
+	}
+	a := &Agent{
+		info: AgentInfo{
+			PID:             os.Getpid(),
+			Addr:            node.Addr(),
+			ControlAddr:     ln.Addr().String(),
+			StartUnixMillis: time.Now().UnixMilli(),
+		},
+		node: node,
+		ln:   ln,
+		stop: stop,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/snapshot", a.handleSnapshot)
+	mux.HandleFunc("/view", a.handleView)
+	mux.HandleFunc("/stop", a.handleStop)
+	// Same tight phase bounds as the metrics server: a control port must
+	// not reopen the slowloris class the gossip listener's Limits close.
+	a.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the agent's bound HTTP address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Info returns the identity the agent advertises (also the ready-file
+// payload).
+func (a *Agent) Info() AgentInfo { return a.info }
+
+// Close stops the agent's HTTP server. It does not stop the node.
+func (a *Agent) Close() error { return a.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (a *Agent) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.info)
+}
+
+func (a *Agent) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// The node's address doubles as the snapshot name; a collector on
+	// the scraping side overrides it with the registered member name.
+	writeJSON(w, metrics.SnapshotSource(a.node.Addr(), a.node))
+}
+
+func (a *Agent) handleView(w http.ResponseWriter, r *http.Request) {
+	view := a.node.View()
+	entries := make([]viewEntry, len(view))
+	for i, d := range view {
+		entries[i] = viewEntry{Addr: d.Addr, Hop: d.Hop}
+	}
+	writeJSON(w, entries)
+}
+
+func (a *Agent) handleStop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /stop", http.StatusMethodNotAllowed)
+		return
+	}
+	a.stopOnce.Do(func() {
+		if a.stop != nil {
+			go a.stop()
+		}
+	})
+	writeJSON(w, map[string]bool{"stopping": true})
+}
+
+// WriteReady atomically writes info as JSON at path (write-then-rename),
+// so a parent polling the path never reads a partial file.
+func WriteReady(path string, info AgentInfo) error {
+	raw, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("fleet: ready file: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("fleet: ready file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fleet: ready file: %w", err)
+	}
+	return nil
+}
+
+// ReadReady reads a ready file written by WriteReady.
+func ReadReady(path string) (AgentInfo, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return AgentInfo{}, err
+	}
+	var info AgentInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return AgentInfo{}, fmt.Errorf("fleet: ready file %s: %w", filepath.Base(path), err)
+	}
+	return info, nil
+}
+
+// agentClient drives one member's control agent from the parent side.
+// Snapshot scraping is delegated to metrics.Remote — the same code path
+// a collector uses — so the fetch contract (timeout, body cap, error
+// shape) lives in one place.
+type agentClient struct {
+	base   string // "http://host:port"
+	hc     *http.Client
+	remote *metrics.Remote
+}
+
+func newAgentClient(controlAddr string) *agentClient {
+	base := "http://" + controlAddr
+	return &agentClient{
+		base:   base,
+		hc:     &http.Client{Timeout: 2 * time.Second},
+		remote: metrics.NewRemote(base + "/snapshot"),
+	}
+}
+
+func (c *agentClient) getJSON(path string, v any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		return fmt.Errorf("fleet: agent %s%s: status %d", c.base, path, resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v)
+}
+
+func (c *agentClient) health() (AgentInfo, error) {
+	var info AgentInfo
+	err := c.getJSON("/healthz", &info)
+	return info, err
+}
+
+func (c *agentClient) snapshot() (metrics.NodeSnapshot, error) {
+	return c.remote.Poll()
+}
+
+func (c *agentClient) view() ([]transport.Descriptor, error) {
+	var entries []viewEntry
+	if err := c.getJSON("/view", &entries); err != nil {
+		return nil, err
+	}
+	view := make([]transport.Descriptor, len(entries))
+	for i, e := range entries {
+		view[i] = transport.Descriptor{Addr: e.Addr, Hop: e.Hop}
+	}
+	return view, nil
+}
+
+func (c *agentClient) stopNode() error {
+	resp, err := c.hc.Post(c.base+"/stop", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: agent %s/stop: status %d", c.base, resp.StatusCode)
+	}
+	return nil
+}

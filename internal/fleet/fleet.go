@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/metrics"
+	"peersampling/internal/transport"
+)
+
+// Driver names accepted by New.
+const (
+	DriverInproc     = "inproc"
+	DriverSubprocess = "subprocess"
+)
+
+// Drivers returns the available cluster drivers.
+func Drivers() []string { return []string{DriverInproc, DriverSubprocess} }
+
+// Config is the node template a cluster stamps out: every member runs
+// this protocol tuple, view size and period. The zero value of optional
+// fields selects defaults.
+type Config struct {
+	// Protocol, ViewSize and Period parameterise every member like
+	// runtime.Config does a single node.
+	Protocol core.Protocol
+	ViewSize int
+	Period   time.Duration
+	// Seed derives per-member protocol seeds (member i gets mix(Seed,i)).
+	// Zero lets each member derive its seed from its address. Subprocess
+	// members always self-derive — a forked psnode seeds itself.
+	Seed uint64
+	// Backend names the transport ("tcp", "tcp-pooled", "udp");
+	// empty selects "tcp".
+	Backend string
+	// Limits hardens every member's listener (see transport.Limits).
+	Limits transport.Limits
+	// Name labels member i for metrics registration and logs; nil
+	// selects "node00", "node01", ...
+	Name func(i int) string
+	// Collector, when non-nil, gets every spawned member registered:
+	// inproc members as local sources, subprocess members as remote
+	// pollers scraping the agent — so the same /metrics endpoint and
+	// CSV dumps observe either driver, and dead subprocess members show
+	// up as stale sources rather than vanishing.
+	Collector *metrics.Collector
+
+	// Subprocess driver only.
+
+	// Psnode is the path to the psnode binary to fork.
+	Psnode string
+	// Dir is the scratch directory for ready files and per-member logs;
+	// empty creates a temporary directory that Close removes.
+	Dir string
+	// SpawnTimeout bounds how long a forked member may take to write its
+	// ready file; zero selects 15 seconds.
+	SpawnTimeout time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Backend == "" {
+		cfg.Backend = "tcp"
+	}
+	if cfg.Name == nil {
+		cfg.Name = func(i int) string { return fmt.Sprintf("node%02d", i) }
+	}
+	if cfg.SpawnTimeout <= 0 {
+		cfg.SpawnTimeout = 15 * time.Second
+	}
+	return cfg
+}
+
+// Member is one node of a cluster. Observation methods keep working on a
+// dead inproc member (its final state stays readable) and fail with an
+// error on a dead subprocess member — the caller decides whether that is
+// noise (mid-churn) or a finding.
+type Member interface {
+	// Name is the member's registration label ("node03").
+	Name() string
+	// Addr is the member's gossip address.
+	Addr() string
+	// Alive reports whether the member has not been killed or closed.
+	Alive() bool
+	// Snapshot observes the member's counters, latency histogram and
+	// view gauges right now.
+	Snapshot() (metrics.NodeSnapshot, error)
+	// View returns the member's current partial view.
+	View() ([]transport.Descriptor, error)
+}
+
+// Cluster boots and tears down a fleet of peer sampling nodes. All
+// methods are safe for concurrent use. Implementations are handed out by
+// New; scenarios hold the Members returned by Spawn and never care which
+// driver is underneath.
+type Cluster interface {
+	// Spawn starts one member, bootstrapped from the given contact
+	// addresses (none for the first member).
+	Spawn(contacts []string) (Member, error)
+	// Kill forcibly removes a member: Close for an inproc node, SIGKILL
+	// for a subprocess — no graceful handshake, which is the point when
+	// simulating churn.
+	Kill(m Member) error
+	// Addrs returns the gossip addresses of the live members.
+	Addrs() []string
+	// Snapshot observes every live member; members that fail to answer
+	// (dying mid-poll) are skipped.
+	Snapshot() []metrics.NodeSnapshot
+	// Close tears the whole cluster down (gracefully where possible,
+	// forcibly otherwise) and releases scratch state. It is idempotent.
+	Close() error
+}
+
+// New builds a cluster for the named driver ("" selects inproc).
+func New(driver string, cfg Config) (Cluster, error) {
+	switch driver {
+	case "", DriverInproc:
+		return newInproc(cfg), nil
+	case DriverSubprocess:
+		return newSubprocess(cfg)
+	default:
+		return nil, fmt.Errorf("fleet: unknown driver %q (available: %v)", driver, Drivers())
+	}
+}
+
+// mix folds a member index into the cluster seed, giving unrelated
+// deterministic RNG streams per member (same mixer as internal/scenario).
+func mix(seed uint64, k int) uint64 {
+	x := seed + 0x9E3779B97F4A7C15*uint64(k+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

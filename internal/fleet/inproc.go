@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"peersampling/internal/metrics"
+	"peersampling/internal/runtime"
+	"peersampling/internal/transport"
+)
+
+// inprocCluster runs every member as a goroutine-driven runtime.Node in
+// this process — the harness the live scenarios used to build by hand.
+type inprocCluster struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members []*inprocMember
+	next    int // monotonic member index; respawns get fresh names
+	closed  bool
+}
+
+func newInproc(cfg Config) *inprocCluster {
+	return &inprocCluster{cfg: cfg.withDefaults()}
+}
+
+type inprocMember struct {
+	name string
+	node *runtime.Node
+
+	mu    sync.Mutex
+	alive bool
+}
+
+func (m *inprocMember) Name() string { return m.name }
+func (m *inprocMember) Addr() string { return m.node.Addr() }
+
+func (m *inprocMember) Alive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive
+}
+
+func (m *inprocMember) Snapshot() (metrics.NodeSnapshot, error) {
+	// A closed runtime node stays readable, so this works on dead
+	// members too — the inproc driver's one fidelity advantage.
+	return metrics.SnapshotSource(m.name, m.node), nil
+}
+
+func (m *inprocMember) View() ([]transport.Descriptor, error) {
+	return m.node.View(), nil
+}
+
+func (m *inprocMember) kill() error {
+	m.mu.Lock()
+	if !m.alive {
+		m.mu.Unlock()
+		return nil
+	}
+	m.alive = false
+	m.mu.Unlock()
+	return m.node.Close()
+}
+
+func (c *inprocCluster) Spawn(contacts []string) (Member, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("fleet: cluster closed")
+	}
+	idx := c.next
+	c.next++
+	c.mu.Unlock()
+
+	seed := uint64(0)
+	if c.cfg.Seed != 0 {
+		seed = mix(c.cfg.Seed, idx)
+	}
+	factory, err := transport.NewFactoryLimits(c.cfg.Backend, "127.0.0.1:0", c.cfg.Limits)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: member %d: %w", idx, err)
+	}
+	node, err := runtime.New(runtime.Config{
+		Protocol: c.cfg.Protocol,
+		ViewSize: c.cfg.ViewSize,
+		Period:   c.cfg.Period,
+		Seed:     seed,
+	}, factory)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: member %d: %w", idx, err)
+	}
+	m := &inprocMember{name: c.cfg.Name(idx), node: node, alive: true}
+	if len(contacts) > 0 {
+		if err := node.Init(contacts); err != nil {
+			_ = node.Close()
+			return nil, fmt.Errorf("fleet: member %s init: %w", m.name, err)
+		}
+	}
+	if err := node.Start(); err != nil {
+		_ = node.Close()
+		return nil, fmt.Errorf("fleet: member %s start: %w", m.name, err)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		// Close raced the spawn: do not leak the node.
+		c.mu.Unlock()
+		_ = m.kill()
+		return nil, errors.New("fleet: cluster closed")
+	}
+	c.members = append(c.members, m)
+	c.mu.Unlock()
+
+	if c.cfg.Collector != nil {
+		c.cfg.Collector.Register(m.name, node)
+	}
+	return m, nil
+}
+
+func (c *inprocCluster) Kill(m Member) error {
+	im, ok := m.(*inprocMember)
+	if !ok {
+		return fmt.Errorf("fleet: member %s is not from this cluster", m.Name())
+	}
+	return im.kill()
+}
+
+func (c *inprocCluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, len(c.members))
+	for _, m := range c.members {
+		if m.Alive() {
+			addrs = append(addrs, m.Addr())
+		}
+	}
+	return addrs
+}
+
+func (c *inprocCluster) Snapshot() []metrics.NodeSnapshot {
+	c.mu.Lock()
+	members := make([]*inprocMember, len(c.members))
+	copy(members, c.members)
+	c.mu.Unlock()
+	snaps := make([]metrics.NodeSnapshot, 0, len(members))
+	for _, m := range members {
+		if !m.Alive() {
+			continue
+		}
+		s, _ := m.Snapshot() // inproc snapshots cannot fail
+		snaps = append(snaps, s)
+	}
+	return snaps
+}
+
+func (c *inprocCluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	members := make([]*inprocMember, len(c.members))
+	copy(members, c.members)
+	c.mu.Unlock()
+
+	var first error
+	for _, m := range members {
+		if err := m.kill(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

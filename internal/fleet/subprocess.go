@@ -1,0 +1,321 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"peersampling/internal/metrics"
+	"peersampling/internal/transport"
+)
+
+// subprocessCluster forks one psnode process per member and drives each
+// through its control agent. Killing a member is a real SIGKILL: kernel
+// connection state, file descriptors and timers die with the process,
+// which is exactly the failure the paper's churn model abstracts.
+type subprocessCluster struct {
+	cfg    Config
+	dir    string
+	ownDir bool // Close removes dir only when the cluster created it
+
+	mu      sync.Mutex
+	members []*subprocessMember
+	next    int
+	closed  bool
+}
+
+func newSubprocess(cfg Config) (*subprocessCluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Psnode == "" {
+		return nil, errors.New("fleet: subprocess driver needs Config.Psnode (path to the psnode binary)")
+	}
+	if _, err := exec.LookPath(cfg.Psnode); err != nil {
+		return nil, fmt.Errorf("fleet: psnode binary: %w", err)
+	}
+	c := &subprocessCluster{cfg: cfg, dir: cfg.Dir}
+	if c.dir == "" {
+		dir, err := os.MkdirTemp("", "psfleet-*")
+		if err != nil {
+			return nil, fmt.Errorf("fleet: scratch dir: %w", err)
+		}
+		c.dir, c.ownDir = dir, true
+	}
+	return c, nil
+}
+
+type subprocessMember struct {
+	name   string
+	info   AgentInfo
+	client *agentClient
+	cmd    *exec.Cmd
+	logf   *os.File
+	exited chan struct{} // closed when cmd.Wait returns
+
+	mu    sync.Mutex
+	alive bool
+}
+
+func (m *subprocessMember) Name() string { return m.name }
+func (m *subprocessMember) Addr() string { return m.info.Addr }
+
+func (m *subprocessMember) Alive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive
+}
+
+func (m *subprocessMember) Snapshot() (metrics.NodeSnapshot, error) {
+	s, err := m.client.snapshot()
+	if err != nil {
+		return metrics.NodeSnapshot{}, err
+	}
+	s.Node = m.name
+	return s, nil
+}
+
+func (m *subprocessMember) View() ([]transport.Descriptor, error) {
+	return m.client.view()
+}
+
+// markDead flips Alive off; returns whether this call did the flip.
+func (m *subprocessMember) markDead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	was := m.alive
+	m.alive = false
+	return was
+}
+
+func (c *subprocessCluster) Spawn(contacts []string) (Member, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("fleet: cluster closed")
+	}
+	idx := c.next
+	c.next++
+	c.mu.Unlock()
+
+	name := c.cfg.Name(idx)
+	memberDir := filepath.Join(c.dir, name)
+	if err := os.MkdirAll(memberDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: member %s: %w", name, err)
+	}
+	readyPath := filepath.Join(memberDir, "ready.json")
+	_ = os.Remove(readyPath) // a respawn under a recycled name must not read the old file
+	logf, err := os.Create(filepath.Join(memberDir, "psnode.log"))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: member %s: %w", name, err)
+	}
+
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-transport", c.cfg.Backend,
+		"-protocol", c.cfg.Protocol.String(),
+		"-c", strconv.Itoa(c.cfg.ViewSize),
+		"-control-addr", "127.0.0.1:0",
+		"-ready-file", readyPath,
+	}
+	if c.cfg.Period > 0 {
+		args = append(args, "-period", c.cfg.Period.String())
+	}
+	if len(contacts) > 0 {
+		args = append(args, "-contacts", strings.Join(contacts, ","))
+	}
+	if c.cfg.Limits.MaxConns != 0 {
+		args = append(args, "-max-conns", strconv.Itoa(c.cfg.Limits.MaxConns))
+	}
+	if c.cfg.Limits.KeepAlive != 0 {
+		args = append(args, "-keepalive", c.cfg.Limits.KeepAlive.String())
+	}
+	cmd := exec.Command(c.cfg.Psnode, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, fmt.Errorf("fleet: member %s: %w", name, err)
+	}
+	m := &subprocessMember{name: name, cmd: cmd, logf: logf, exited: make(chan struct{}), alive: true}
+	go func() {
+		_ = cmd.Wait()
+		close(m.exited)
+	}()
+
+	// Address discovery: wait for the daemon's atomically-written ready
+	// file instead of parsing its log or racing for ports.
+	deadline := time.Now().Add(c.cfg.SpawnTimeout)
+	for {
+		info, err := ReadReady(readyPath)
+		if err == nil {
+			m.info = info
+			break
+		}
+		select {
+		case <-m.exited:
+			err := fmt.Errorf("fleet: member %s exited before becoming ready; log tail:\n%s",
+				name, tailFile(logf.Name(), 2048))
+			logf.Close()
+			return nil, err
+		default:
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			<-m.exited
+			logf.Close()
+			return nil, fmt.Errorf("fleet: member %s not ready within %v; log tail:\n%s",
+				name, c.cfg.SpawnTimeout, tailFile(logf.Name(), 2048))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.info.ControlAddr == "" {
+		_ = cmd.Process.Kill()
+		<-m.exited
+		logf.Close()
+		return nil, fmt.Errorf("fleet: member %s came up without a control agent", name)
+	}
+	m.client = newAgentClient(m.info.ControlAddr)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = c.killMember(m)
+		return nil, errors.New("fleet: cluster closed")
+	}
+	c.members = append(c.members, m)
+	c.mu.Unlock()
+
+	if c.cfg.Collector != nil {
+		// The remote poller lands this member in the same exposition and
+		// long-form dumps as in-process nodes; when the member dies, the
+		// collector serves its last snapshot marked stale.
+		c.cfg.Collector.RegisterPoller(m.name, m.client.remote)
+	}
+	return m, nil
+}
+
+func (c *subprocessCluster) Kill(m Member) error {
+	sm, ok := m.(*subprocessMember)
+	if !ok {
+		return fmt.Errorf("fleet: member %s is not from this cluster", m.Name())
+	}
+	return c.killMember(sm)
+}
+
+// killMember SIGKILLs the process and reaps it.
+func (c *subprocessCluster) killMember(m *subprocessMember) error {
+	if !m.markDead() {
+		return nil
+	}
+	err := m.cmd.Process.Kill()
+	<-m.exited
+	m.logf.Close()
+	if err != nil && !errors.Is(err, os.ErrProcessDone) {
+		return fmt.Errorf("fleet: kill %s: %w", m.name, err)
+	}
+	return nil
+}
+
+// stopMember asks the agent for a graceful shutdown and falls back to
+// SIGKILL when the process does not exit in time.
+func (c *subprocessCluster) stopMember(m *subprocessMember, patience time.Duration) {
+	if !m.markDead() {
+		return
+	}
+	graceful := m.client.stopNode() == nil
+	if graceful {
+		select {
+		case <-m.exited:
+			m.logf.Close()
+			return
+		case <-time.After(patience):
+		}
+	}
+	_ = m.cmd.Process.Kill()
+	<-m.exited
+	m.logf.Close()
+}
+
+func (c *subprocessCluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, len(c.members))
+	for _, m := range c.members {
+		if m.Alive() {
+			addrs = append(addrs, m.Addr())
+		}
+	}
+	return addrs
+}
+
+func (c *subprocessCluster) Snapshot() []metrics.NodeSnapshot {
+	c.mu.Lock()
+	members := make([]*subprocessMember, len(c.members))
+	copy(members, c.members)
+	c.mu.Unlock()
+	snaps := make([]metrics.NodeSnapshot, 0, len(members))
+	for _, m := range members {
+		if !m.Alive() {
+			continue
+		}
+		if s, err := m.Snapshot(); err == nil {
+			snaps = append(snaps, s)
+		}
+	}
+	return snaps
+}
+
+func (c *subprocessCluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	members := make([]*subprocessMember, len(c.members))
+	copy(members, c.members)
+	c.mu.Unlock()
+
+	// One last poll round before the processes go away warms the
+	// collector's staleness cache, so a final dump or scrape after Close
+	// replays the fleet's true end state (marked stale) instead of
+	// zeros. Inproc clusters need no such step — their nodes remain
+	// readable after Close.
+	if c.cfg.Collector != nil {
+		c.cfg.Collector.Snapshot()
+	}
+
+	// Stop members in parallel: each gets a graceful window, then the
+	// hammer. A fleet of dozens must not take dozens of seconds to fold.
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m *subprocessMember) {
+			defer wg.Done()
+			c.stopMember(m, 3*time.Second)
+		}(m)
+	}
+	wg.Wait()
+	if c.ownDir {
+		return os.RemoveAll(c.dir)
+	}
+	return nil
+}
+
+// tailFile returns up to n trailing bytes of the file at path, for spawn
+// failure diagnostics.
+func tailFile(path string, n int64) string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "(no log: " + err.Error() + ")"
+	}
+	if int64(len(raw)) > n {
+		raw = raw[int64(len(raw))-n:]
+	}
+	return string(raw)
+}

@@ -96,6 +96,11 @@ func TestServerScrapesLiveNodes(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Errorf("content type %q", ct)
 	}
+	if lm := resp.Header.Get("Last-Modified"); lm == "" {
+		t.Error("no Last-Modified header on a scrape with live sources")
+	} else if _, err := time.Parse(http.TimeFormat, lm); err != nil {
+		t.Errorf("Last-Modified %q does not parse: %v", lm, err)
+	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)

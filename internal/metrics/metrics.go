@@ -25,6 +25,22 @@ type Source interface {
 	View() []core.Descriptor[string]
 }
 
+// LatencySource is an optional Source capability: sources that keep an
+// exchange-latency histogram (runtime.Node does) get it exported as a
+// Prometheus histogram family and p50/p99 long-form columns.
+type LatencySource interface {
+	ExchangeLatency() transport.LatencySnapshot
+}
+
+// Poller is the remote counterpart of Source: one call returns the whole
+// snapshot, or an error when the node is unreachable. The collector
+// caches each poller's last successful snapshot and serves it marked
+// Stale on failure, so a dead fleet member stays visible at scrape time
+// instead of silently vanishing from the exposition.
+type Poller interface {
+	Poll() (NodeSnapshot, error)
+}
+
 // NodeSnapshot is one node's observable state at one instant: the shared
 // row type behind every exporter (Prometheus exposition, CSV/JSONL dumps,
 // the psnode report log).
@@ -46,6 +62,16 @@ type NodeSnapshot struct {
 	// Wire holds the transport's wire-level counters; nil when the
 	// transport keeps none.
 	Wire *transport.Stats `json:"wire,omitempty"`
+
+	// Latency is the exchange round-trip histogram; nil when the source
+	// keeps none (see LatencySource).
+	Latency *transport.LatencySnapshot `json:"latency,omitempty"`
+
+	// Stale marks a snapshot replayed from the collector's cache because
+	// the source failed its poll this round (a dead or partitioned fleet
+	// member). UnixMillis then still carries the last successful poll
+	// time, which is what the staleness gauges expose.
+	Stale bool `json:"stale,omitempty"`
 
 	// View-shape gauges. The hop statistics are zero when the view is
 	// empty.
@@ -76,6 +102,12 @@ func (s NodeSnapshot) Rows() []LongRow {
 			rows = append(rows, LongRow{s.Node, int(s.Cycles), "wire_" + c.Name, float64(c.Value)})
 		}
 	}
+	if s.Latency != nil {
+		rows = append(rows,
+			LongRow{s.Node, int(s.Cycles), "exchange_latency_p50", s.Latency.Quantile(0.50)},
+			LongRow{s.Node, int(s.Cycles), "exchange_latency_p99", s.Latency.Quantile(0.99)},
+		)
+	}
 	return rows
 }
 
@@ -83,22 +115,29 @@ func (s NodeSnapshot) Rows() []LongRow {
 // is not usable; construct collectors with New. All methods are safe for
 // concurrent use.
 type Collector struct {
-	mu      sync.Mutex
-	sources []namedSource
-	names   map[string]bool
+	mu       sync.Mutex
+	sources  []namedSource
+	names    map[string]bool
+	lastGood map[string]NodeSnapshot // last successful poll per source
 
 	// now stubs time for deterministic tests.
 	now func() time.Time
 }
 
+// namedSource is one registered observation target: a local Source
+// wrapped into the common poll shape, or a remote Poller as-is.
 type namedSource struct {
 	name string
-	src  Source
+	poll func(unixMillis int64) (NodeSnapshot, error)
 }
 
 // New returns an empty collector.
 func New() *Collector {
-	return &Collector{names: map[string]bool{}, now: time.Now}
+	return &Collector{
+		names:    map[string]bool{},
+		lastGood: map[string]NodeSnapshot{},
+		now:      time.Now,
+	}
 }
 
 // Register adds a source under the given name. An empty name defaults to
@@ -109,6 +148,30 @@ func (c *Collector) Register(name string, src Source) {
 	if name == "" {
 		name = src.Addr()
 	}
+	c.add(name, func(unixMillis int64) (NodeSnapshot, error) {
+		return snapshotOne("", src, unixMillis), nil
+	})
+}
+
+// RegisterPoller adds a remote source (see Poller and Remote) under the
+// given name; an empty name defaults to "remote". Poll failures serve the
+// last successful snapshot marked Stale instead of dropping the node from
+// the exposition.
+func (c *Collector) RegisterPoller(name string, p Poller) {
+	if name == "" {
+		name = "remote"
+	}
+	c.add(name, func(unixMillis int64) (NodeSnapshot, error) {
+		s, err := p.Poll()
+		if err != nil {
+			return NodeSnapshot{}, err
+		}
+		s.UnixMillis = unixMillis
+		return s, nil
+	})
+}
+
+func (c *Collector) add(name string, poll func(int64) (NodeSnapshot, error)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	base := name
@@ -116,7 +179,7 @@ func (c *Collector) Register(name string, src Source) {
 		name = fmt.Sprintf("%s#%d", base, n)
 	}
 	c.names[name] = true
-	c.sources = append(c.sources, namedSource{name: name, src: src})
+	c.sources = append(c.sources, namedSource{name: name, poll: poll})
 }
 
 // Len reports how many sources are registered.
@@ -128,7 +191,10 @@ func (c *Collector) Len() int {
 
 // Snapshot polls every registered source and returns one NodeSnapshot per
 // node, in registration order. Sources are polled outside the collector
-// lock, so a slow node cannot block Register calls.
+// lock, so a slow node cannot block Register calls. A source whose poll
+// fails (an unreachable fleet member) yields its last successful snapshot
+// marked Stale — or a zero snapshot marked Stale if it never answered —
+// so dead members stay visible to scrapers.
 func (c *Collector) Snapshot() []NodeSnapshot {
 	c.mu.Lock()
 	sources := make([]namedSource, len(c.sources))
@@ -136,11 +202,53 @@ func (c *Collector) Snapshot() []NodeSnapshot {
 	now := c.now
 	c.mu.Unlock()
 
+	// Sources are polled concurrently: a remote poller blocks for up to
+	// its HTTP timeout when its member is slow or partitioned, and a
+	// fleet accumulates dead members (livechurn registers a poller per
+	// respawn) — one scrape must cost the slowest poll, not the sum.
+	type polled struct {
+		snap NodeSnapshot
+		err  error
+	}
+	results := make([]polled, len(sources))
+	var wg sync.WaitGroup
+	for i, ns := range sources {
+		wg.Add(1)
+		go func(i int, ns namedSource) {
+			defer wg.Done()
+			results[i].snap, results[i].err = ns.poll(now().UnixMilli())
+		}(i, ns)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	snaps := make([]NodeSnapshot, len(sources))
 	for i, ns := range sources {
-		snaps[i] = snapshotOne(ns.name, ns.src, now().UnixMilli())
+		if results[i].err == nil {
+			s := results[i].snap
+			s.Node = ns.name
+			c.lastGood[ns.name] = s
+			snaps[i] = s
+			continue
+		}
+		s, ok := c.lastGood[ns.name]
+		if !ok {
+			// Never answered: a zero snapshot keeps the node on the
+			// exposition with source_up 0 and last-update 0.
+			s = NodeSnapshot{Node: ns.name}
+		}
+		s.Stale = true
+		snaps[i] = s
 	}
 	return snaps
+}
+
+// SnapshotSource observes one local source right now: the single-node
+// form of Collector.Snapshot, used by the fleet agent to serve its
+// snapshot endpoint and by the in-process cluster driver.
+func SnapshotSource(name string, src Source) NodeSnapshot {
+	return snapshotOne(name, src, time.Now().UnixMilli())
 }
 
 func snapshotOne(name string, src Source, unixMillis int64) NodeSnapshot {
@@ -148,6 +256,10 @@ func snapshotOne(name string, src Source, unixMillis int64) NodeSnapshot {
 	s.Cycles, s.Exchanges, s.Failures, s.Served = src.Stats()
 	if wire, ok := src.TransportStats(); ok {
 		s.Wire = &wire
+	}
+	if ls, ok := src.(LatencySource); ok {
+		lat := ls.ExchangeLatency()
+		s.Latency = &lat
 	}
 	view := src.View()
 	s.ViewSize = len(view)

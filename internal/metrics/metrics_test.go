@@ -38,18 +38,42 @@ func (f *fakeSource) TransportStats() (transport.Stats, bool) {
 }
 func (f *fakeSource) View() []core.Descriptor[string] { return f.view }
 
+// latFakeSource is a fakeSource that also keeps an exchange-latency
+// histogram, like runtime.Node does.
+type latFakeSource struct {
+	fakeSource
+	lat transport.LatencySnapshot
+}
+
+func (f *latFakeSource) ExchangeLatency() transport.LatencySnapshot { return f.lat }
+
+// fixedLatency returns a deterministic histogram: ten exchanges at ~2ms,
+// one at ~30ms.
+func fixedLatency() transport.LatencySnapshot {
+	var h transport.LatencyHistogram
+	for i := 0; i < 10; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	h.Observe(30 * time.Millisecond)
+	return h.Snapshot()
+}
+
 // fixedCollector returns a collector over two fake nodes — one with wire
-// counters and a populated view, one bare — with time pinned.
+// counters, a latency histogram and a populated view, one bare — with
+// time pinned.
 func fixedCollector() *Collector {
 	c := New()
 	c.now = func() time.Time { return time.UnixMilli(1700000000000) }
-	c.Register("alpha", &fakeSource{
-		addr: "127.0.0.1:7946", cycles: 12, ex: 10, failed: 2, served: 9,
-		wire: &transport.Stats{
-			Dials: 1, Reuses: 2, BytesOut: 3, BytesIn: 4, FramesOut: 5,
-			FramesIn: 6, DatagramsDropped: 7, AcceptRejects: 8, KeepAliveEvictions: 9,
+	c.Register("alpha", &latFakeSource{
+		fakeSource: fakeSource{
+			addr: "127.0.0.1:7946", cycles: 12, ex: 10, failed: 2, served: 9,
+			wire: &transport.Stats{
+				Dials: 1, Reuses: 2, BytesOut: 3, BytesIn: 4, FramesOut: 5,
+				FramesIn: 6, DatagramsDropped: 7, AcceptRejects: 8, KeepAliveEvictions: 9,
+			},
+			view: []core.Descriptor[string]{{Addr: "p1", Hop: 1}, {Addr: "p2", Hop: 2}, {Addr: "p3", Hop: 6}},
 		},
-		view: []core.Descriptor[string]{{Addr: "p1", Hop: 1}, {Addr: "p2", Hop: 2}, {Addr: "p3", Hop: 6}},
+		lat: fixedLatency(),
 	})
 	c.Register("beta", &fakeSource{addr: "fabric-b", cycles: 1})
 	return c
@@ -73,12 +97,104 @@ func TestCollectorSnapshot(t *testing.T) {
 	if a.ViewSize != 3 || a.HopMin != 1 || a.HopMax != 6 || a.HopMean != 3 {
 		t.Errorf("view shape wrong: %+v", a)
 	}
+	if a.Latency == nil || a.Latency.Count != 11 {
+		t.Errorf("latency histogram wrong: %+v", a.Latency)
+	}
+	if a.Stale {
+		t.Error("fresh local source marked stale")
+	}
 	b := snaps[1]
 	if b.Wire != nil {
 		t.Errorf("bare node grew wire counters: %+v", b.Wire)
 	}
+	if b.Latency != nil {
+		t.Errorf("bare node grew a latency histogram: %+v", b.Latency)
+	}
 	if b.ViewSize != 0 || b.HopMin != 0 || b.HopMax != 0 || b.HopMean != 0 {
 		t.Errorf("empty view shape wrong: %+v", b)
+	}
+}
+
+// flakyPoller answers until failAfter polls have happened, then errors —
+// a fleet member dying mid-run.
+type flakyPoller struct {
+	polls     int
+	failAfter int
+	snap      NodeSnapshot
+}
+
+func (p *flakyPoller) Poll() (NodeSnapshot, error) {
+	p.polls++
+	if p.polls > p.failAfter {
+		return NodeSnapshot{}, errors.New("connection refused")
+	}
+	return p.snap, nil
+}
+
+// A dead poller must not vanish from Snapshot: its last good snapshot is
+// replayed marked Stale, with the original poll time preserved for the
+// last-update gauge.
+func TestCollectorServesStaleSnapshotForDeadPoller(t *testing.T) {
+	c := New()
+	times := []int64{1000, 2000, 3000}
+	c.now = func() time.Time { ms := times[0]; times = times[1:]; return time.UnixMilli(ms) }
+	c.RegisterPoller("member", &flakyPoller{
+		failAfter: 1,
+		snap:      NodeSnapshot{Addr: "10.0.0.1:7946", Cycles: 5, ViewSize: 3},
+	})
+
+	fresh := c.Snapshot()
+	if len(fresh) != 1 || fresh[0].Stale || fresh[0].Node != "member" {
+		t.Fatalf("fresh poll wrong: %+v", fresh)
+	}
+	if fresh[0].UnixMillis != 1000 || fresh[0].Cycles != 5 {
+		t.Fatalf("fresh snapshot contents wrong: %+v", fresh[0])
+	}
+
+	for round := 0; round < 2; round++ {
+		stale := c.Snapshot()
+		if !stale[0].Stale {
+			t.Fatalf("round %d: dead poller not marked stale: %+v", round, stale[0])
+		}
+		if stale[0].UnixMillis != 1000 {
+			t.Errorf("round %d: last-update advanced on a dead source: %+v", round, stale[0])
+		}
+		if stale[0].Cycles != 5 || stale[0].Addr != "10.0.0.1:7946" {
+			t.Errorf("round %d: cached contents lost: %+v", round, stale[0])
+		}
+	}
+}
+
+// A poller that never answered still appears, as a zero snapshot marked
+// stale, and the exposition shows source_up 0 for it.
+func TestCollectorExposesNeverReachedPoller(t *testing.T) {
+	c := New()
+	c.now = func() time.Time { return time.UnixMilli(1700000000000) }
+	c.RegisterPoller("ghost", &flakyPoller{failAfter: 0})
+	snaps := c.Snapshot()
+	if len(snaps) != 1 || !snaps[0].Stale || snaps[0].UnixMillis != 0 {
+		t.Fatalf("ghost snapshot wrong: %+v", snaps)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `peersampling_source_up{node="ghost",addr=""} 0`) {
+		t.Errorf("no source_up 0 sample for the ghost:\n%s", buf.String())
+	}
+}
+
+// The collector's registered name wins over whatever Node name the
+// remote process reported in its own snapshot.
+func TestRegisterPollerNamesAndUniquifies(t *testing.T) {
+	c := New()
+	c.now = func() time.Time { return time.UnixMilli(1) }
+	c.RegisterPoller("n", &flakyPoller{failAfter: 99, snap: NodeSnapshot{Node: "self-reported"}})
+	c.RegisterPoller("", &flakyPoller{failAfter: 99})
+	c.RegisterPoller("", &flakyPoller{failAfter: 99})
+	snaps := c.Snapshot()
+	if snaps[0].Node != "n" || snaps[1].Node != "remote" || snaps[2].Node != "remote#2" {
+		t.Errorf("names = %q %q %q", snaps[0].Node, snaps[1].Node, snaps[2].Node)
 	}
 }
 
@@ -161,8 +277,9 @@ func TestLongCSVRoundTrip(t *testing.T) {
 			t.Errorf("row %d: %+v != %+v", i, p, r)
 		}
 	}
-	// One row per protocol counter, view gauge and wire counter.
-	wantAlpha := 8 + len((transport.Stats{}).Named())
+	// One row per protocol counter, view gauge, wire counter, and the
+	// two latency quantile columns.
+	wantAlpha := 8 + len((transport.Stats{}).Named()) + 2
 	alpha := 0
 	for _, r := range parsed {
 		if r.Key == "alpha" {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"peersampling/internal/transport"
 )
 
 // The Prometheus text exposition format, hand-rolled: one HELP/TYPE pair
@@ -44,6 +46,15 @@ func promFamilies(snaps []NodeSnapshot) []promFamily {
 			func(s NodeSnapshot) (float64, bool) { return s.HopMean, true }},
 		{"peersampling_view_hop_max", "Highest hop age in the view (stalest descriptor).", "gauge",
 			func(s NodeSnapshot) (float64, bool) { return float64(s.HopMax), true }},
+		{"peersampling_source_up", "1 when the source answered this scrape's poll, 0 when its last snapshot is being replayed (dead or partitioned fleet member).", "gauge",
+			func(s NodeSnapshot) (float64, bool) {
+				if s.Stale {
+					return 0, true
+				}
+				return 1, true
+			}},
+		{"peersampling_source_last_update_seconds", "Unix time of the source's last successful poll; stops advancing when the source dies.", "gauge",
+			func(s NodeSnapshot) (float64, bool) { return float64(s.UnixMillis) / 1000, true }},
 	}
 	for _, wire := range wireCounterNames(snaps) {
 		name := wire // capture
@@ -107,8 +118,39 @@ func WritePrometheus(w io.Writer, snaps []NodeSnapshot) error {
 				fam.name, s.Node, s.Addr, formatValue(v))
 		}
 	}
+	writeLatencyHistogram(&b, snaps)
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeLatencyHistogram renders the exchange-latency histogram family for
+// every node that carries one, in the native Prometheus histogram shape:
+// cumulative le-labelled buckets, _sum and _count.
+func writeLatencyHistogram(b *strings.Builder, snaps []NodeSnapshot) {
+	const family = "peersampling_exchange_latency_seconds"
+	wrote := false
+	for _, s := range snaps {
+		if s.Latency == nil {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(b, "# HELP %s Round-trip time of completed active exchanges.\n# TYPE %s histogram\n",
+				family, family)
+			wrote = true
+		}
+		cum := s.Latency.Cumulative()
+		for i, bound := range transport.LatencyBounds {
+			var c uint64
+			if i < len(cum) {
+				c = cum[i]
+			}
+			fmt.Fprintf(b, "%s_bucket{node=%q,addr=%q,le=%q} %d\n",
+				family, s.Node, s.Addr, formatValue(bound), c)
+		}
+		fmt.Fprintf(b, "%s_bucket{node=%q,addr=%q,le=\"+Inf\"} %d\n", family, s.Node, s.Addr, s.Latency.Count)
+		fmt.Fprintf(b, "%s_sum{node=%q,addr=%q} %s\n", family, s.Node, s.Addr, formatValue(s.Latency.SumSeconds))
+		fmt.Fprintf(b, "%s_count{node=%q,addr=%q} %d\n", family, s.Node, s.Addr, s.Latency.Count)
+	}
 }
 
 // WritePrometheus takes one snapshot round and renders it; the Server's

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Remote scrapes another process's snapshot endpoint — the fleet agent's
+// GET /snapshot — and implements Poller, so a Collector in one process
+// can observe psnode daemons running in others and serve their counters
+// through the same /metrics exposition and long-form dumps as local
+// nodes. A scrape failure is exactly the signal the collector's staleness
+// cache wants: the member is dead or partitioned.
+type Remote struct {
+	url    string
+	client *http.Client
+}
+
+// NewRemote returns a poller scraping the snapshot endpoint at url (e.g.
+// "http://127.0.0.1:7100/snapshot"). Requests time out after two seconds
+// — a control endpoint on the same network as the gossip traffic answers
+// far faster or is effectively down.
+func NewRemote(url string) *Remote {
+	return &Remote{url: url, client: &http.Client{Timeout: 2 * time.Second}}
+}
+
+// URL returns the scraped endpoint.
+func (r *Remote) URL() string { return r.url }
+
+// Poll implements Poller: one GET, one decoded NodeSnapshot.
+func (r *Remote) Poll() (NodeSnapshot, error) {
+	resp, err := r.client.Get(r.url)
+	if err != nil {
+		return NodeSnapshot{}, fmt.Errorf("metrics: remote %s: %w", r.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a bounded amount so the connection can be reused.
+		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		return NodeSnapshot{}, fmt.Errorf("metrics: remote %s: status %d", r.url, resp.StatusCode)
+	}
+	var s NodeSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&s); err != nil {
+		return NodeSnapshot{}, fmt.Errorf("metrics: remote %s: decode: %w", r.url, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peersampling/internal/transport"
+)
+
+// Remote must decode the agent's JSON snapshot, and a collector over it
+// must serve the scraped counters like any local source — including the
+// staleness path once the agent dies.
+func TestRemotePollAndCollectorIntegration(t *testing.T) {
+	snap := NodeSnapshot{
+		Node: "ignored", Addr: "10.1.2.3:7946", UnixMillis: 42,
+		Cycles: 9, Exchanges: 8, ViewSize: 4,
+		Latency: func() *transport.LatencySnapshot { l := fixedLatency(); return &l }(),
+	}
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "gone", http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	}))
+	defer ts.Close()
+
+	r := NewRemote(ts.URL + "/snapshot")
+	got, err := r.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != 9 || got.Addr != "10.1.2.3:7946" {
+		t.Fatalf("polled snapshot wrong: %+v", got)
+	}
+	if got.Latency == nil || got.Latency.Count != 11 {
+		t.Fatalf("latency histogram lost in transit: %+v", got.Latency)
+	}
+
+	c := New()
+	c.now = func() time.Time { return time.UnixMilli(5000) }
+	c.RegisterPoller("fleet00", r)
+	snaps := c.Snapshot()
+	if snaps[0].Node != "fleet00" || snaps[0].Stale || snaps[0].UnixMillis != 5000 {
+		t.Fatalf("collector snapshot wrong: %+v", snaps[0])
+	}
+
+	down.Store(true)
+	snaps = c.Snapshot()
+	if !snaps[0].Stale || snaps[0].Cycles != 9 {
+		t.Fatalf("dead agent not replayed stale: %+v", snaps[0])
+	}
+	if snaps[0].UnixMillis != 5000 {
+		t.Errorf("last-update moved on a dead agent: %+v", snaps[0])
+	}
+}
+
+func TestRemotePollErrors(t *testing.T) {
+	if _, err := NewRemote("http://127.0.0.1:1/snapshot").Poll(); err == nil {
+		t.Error("unreachable endpoint accepted")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("not json"))
+	}))
+	defer ts.Close()
+	if _, err := NewRemote(ts.URL).Poll(); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("garbage body error = %v", err)
+	}
+}

@@ -51,6 +51,21 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error { return s.srv.Close() }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snaps := s.collector.Snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.collector.WritePrometheus(w)
+	// Last-Modified carries the newest successful source poll: when every
+	// member of a scraped fleet is dead, the header stops advancing and a
+	// scraper can see the whole exposition is a replay without parsing it.
+	// (The per-source staleness lives in the peersampling_source_up and
+	// peersampling_source_last_update_seconds gauges.)
+	var newest int64
+	for _, snap := range snaps {
+		if snap.UnixMillis > newest {
+			newest = snap.UnixMillis
+		}
+	}
+	if newest > 0 {
+		w.Header().Set("Last-Modified", time.UnixMilli(newest).UTC().Format(http.TimeFormat))
+	}
+	_ = WritePrometheus(w, snaps)
 }

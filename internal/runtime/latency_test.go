@@ -1,0 +1,56 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/transport"
+)
+
+// Completed exchanges must land in the latency histogram; failed ones
+// must not (they are counted in Stats instead).
+func TestExchangeLatencyRecorded(t *testing.T) {
+	fabric := transport.NewFabric()
+	cfg := Config{Protocol: core.Newscast, ViewSize: 4, Period: time.Hour, Seed: 1}
+	a, err := New(cfg, fabric.Factory("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(cfg, fabric.Factory("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Init([]string{b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	s := a.ExchangeLatency()
+	if s.Count != 1 {
+		t.Fatalf("latency count = %d want 1 after one successful exchange", s.Count)
+	}
+	if s.SumSeconds < 0 {
+		t.Errorf("negative latency sum: %v", s.SumSeconds)
+	}
+
+	// Point the node at a peer that does not exist: the exchange fails
+	// and the histogram must not move.
+	c, err := New(cfg, fabric.Factory("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Init([]string{"nope"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick()
+	if got := c.ExchangeLatency().Count; got != 0 {
+		t.Errorf("failed exchange was timed: count = %d", got)
+	}
+	if _, _, failures, _ := c.Stats(); failures != 1 {
+		t.Errorf("failures = %d want 1", failures)
+	}
+}

@@ -89,6 +89,11 @@ type Node struct {
 	failures   uint64 // failed active exchanges
 	handled    uint64 // passive exchanges served
 	cyclesObsv uint64 // active cycles run
+
+	// lat holds round-trip times of completed active exchanges (failures
+	// are counted, not timed — a timeout would only ever record the
+	// configured deadline). Atomic internally, so it lives outside mu.
+	lat transport.LatencyHistogram
 }
 
 var _ Service = (*Node)(nil)
@@ -285,7 +290,9 @@ func (n *Node) Tick() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ExchangeTimeout)
 	defer cancel()
+	began := time.Now()
 	resp, ok, err := n.transport.Exchange(ctx, peer, req)
+	elapsed := time.Since(began)
 
 	n.mu.Lock()
 	if err != nil {
@@ -304,6 +311,16 @@ func (n *Node) Tick() {
 		n.state.HandleResponse(resp)
 	}
 	n.mu.Unlock()
+	n.lat.Observe(elapsed)
+}
+
+// ExchangeLatency returns a snapshot of the node's exchange round-trip
+// histogram: every completed active exchange since the node was created,
+// over whatever transport it runs. Failed exchanges appear in Stats'
+// failure counter instead — timing them would only ever record the
+// configured timeout.
+func (n *Node) ExchangeLatency() transport.LatencySnapshot {
+	return n.lat.Snapshot()
 }
 
 // handleRequest is the passive thread, invoked by the transport.

@@ -212,8 +212,8 @@ func TestForEachPar(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	defs := All()
-	if len(defs) != 14 {
-		t.Fatalf("registry has %d entries want 14", len(defs))
+	if len(defs) != 15 {
+		t.Fatalf("registry has %d entries want 15", len(defs))
 	}
 	ids := map[string]bool{}
 	for _, d := range defs {
@@ -225,9 +225,9 @@ func TestFindAndAll(t *testing.T) {
 		}
 		ids[d.ID] = true
 	}
-	// Exactly the live-cluster experiments take a collector.
+	// Exactly the live-cluster experiments take a LiveEnv.
 	for _, d := range defs {
-		wantLive := d.ID == "hostile" || d.ID == "bootstrap"
+		wantLive := d.ID == "hostile" || d.ID == "bootstrap" || d.ID == "livechurn"
 		if (d.RunLive != nil) != wantLive {
 			t.Errorf("%s: RunLive presence = %v want %v", d.ID, d.RunLive != nil, wantLive)
 		}

@@ -2,8 +2,9 @@
 // methodology as a registry of named, seeded experiments. Each experiment
 // (table1, figure2..figure7, table2, exclusion) rebuilds one artefact of
 // the evaluation section and renders a paper-shaped text table; the
-// extensions (uniformity, churn, ablation, hostile) answer questions the
-// paper raises but does not measure.
+// extensions (uniformity, churn, ablation, and the live bootstrap,
+// hostile and livechurn drills) answer questions the paper raises but
+// does not measure.
 //
 // Experiments are pure functions of (Scale, seed): Scale picks the
 // network size, view capacity, cycle counts and estimator effort (Quick
@@ -14,10 +15,14 @@
 // its own result slot, which keeps parallelism invisible to the output.
 //
 // Most experiments run on the cycle-based simulator (internal/sim). The
-// exception is the hostile-network drill (RunHostile), which boots a LIVE
-// runtime cluster on loopback TCP and attacks it with a connection flood
-// and slowloris peers to prove the transport hardening layer holds; its
-// counters are timing-dependent where everything else is seeded.
+// exceptions are the live drills, which boot a real cluster on a fleet
+// driver (internal/fleet, selected through LiveEnv — goroutine nodes in
+// this process or forked psnode processes): RunLiveBootstrap measures
+// single-contact convergence, RunHostile attacks one node with a
+// connection flood and slowloris peers to prove the transport hardening
+// layer holds, and RunLiveChurn kills and respawns a fraction of the
+// fleet per round to prove re-convergence. Their counters are
+// timing-dependent where everything else is seeded.
 //
 // Command experiments (cmd/experiments) is the CLI over this registry.
 package scenario

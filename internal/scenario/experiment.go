@@ -1,12 +1,12 @@
 package scenario
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sync"
 
 	"peersampling/internal/core"
-	"peersampling/internal/metrics"
 	"peersampling/internal/sim"
 )
 
@@ -28,12 +28,29 @@ type Def struct {
 	ID    string
 	Title string
 	Run   func(sc Scale, seed uint64) Result
-	// RunLive is set on experiments that boot a live runtime cluster
-	// (real sockets, real time) and can register their nodes with a
-	// metrics.Collector for continuous observation — a nil collector
-	// behaves exactly like Run. It is nil for cycle-based experiments,
-	// which are observed through their own Result series instead.
-	RunLive func(sc Scale, seed uint64, coll *metrics.Collector) Result
+	// RunLive is set on experiments that boot a live cluster (real
+	// sockets, real time, possibly real processes — see LiveEnv): the
+	// environment selects the fleet driver and optionally a collector
+	// observing every member. Unlike Run, RunLive returns an error,
+	// because booting real processes has real failure modes (a missing
+	// psnode binary is not a panic-grade programmer error). It is nil
+	// for cycle-based experiments, which are observed through their own
+	// Result series instead.
+	RunLive func(sc Scale, seed uint64, env LiveEnv) (Result, error)
+}
+
+// runLiveDirect adapts a RunLive function to the plain Run signature for
+// the registry: default environment, errors escalated to panics (the
+// inproc driver only fails on programmer error, matching the other
+// scenarios' contract).
+func runLiveDirect(f func(sc Scale, seed uint64, env LiveEnv) (Result, error)) func(Scale, uint64) Result {
+	return func(sc Scale, seed uint64) Result {
+		r, err := f(sc, seed, LiveEnv{})
+		if err != nil {
+			panic(fmt.Sprintf("scenario: %v", err))
+		}
+		return r
+	}
 }
 
 // All returns the full experiment registry in paper order.
@@ -52,18 +69,35 @@ func All() []Def {
 		{"churn", "Extension: steady-state behaviour under continuous churn", func(sc Scale, seed uint64) Result { return RunChurn(sc, seed) }, nil},
 		{
 			"bootstrap", "Extension: live cluster bootstrap convergence over real sockets",
-			func(sc Scale, seed uint64) Result { return RunLiveBootstrap(sc, seed, nil) },
-			func(sc Scale, seed uint64, coll *metrics.Collector) Result { return RunLiveBootstrap(sc, seed, coll) },
+			runLiveDirect(liveBootstrapDef),
+			liveBootstrapDef,
 		},
 		{
 			"hostile", "Extension: live cluster under connection flood and slowloris",
-			func(sc Scale, seed uint64) Result { return RunHostile(sc, seed) },
-			func(sc Scale, seed uint64, coll *metrics.Collector) Result {
-				return RunHostileCollected(sc, seed, coll)
-			},
+			runLiveDirect(hostileDef),
+			hostileDef,
+		},
+		{
+			"livechurn", "Extension: fleet churn — kill and respawn real nodes each round",
+			runLiveDirect(liveChurnDef),
+			liveChurnDef,
 		},
 		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }, nil},
 	}
+}
+
+// The live experiments' RunLive shapes, named so All can register both
+// the plain and the environment-aware form without repeating closures.
+func liveBootstrapDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
+	return RunLiveBootstrap(sc, seed, env)
+}
+
+func hostileDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
+	return RunHostile(sc, seed, env)
+}
+
+func liveChurnDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
+	return RunLiveChurn(sc, seed, env)
 }
 
 // Find returns the experiment definition with the given ID.

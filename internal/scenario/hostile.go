@@ -9,15 +9,14 @@ import (
 	"time"
 
 	"peersampling/internal/core"
-	"peersampling/internal/metrics"
-	"peersampling/internal/runtime"
+	"peersampling/internal/fleet"
 	"peersampling/internal/transport"
 )
 
-// The hostile-network experiment runs a LIVE runtime cluster over real
-// loopback TCP — unlike the cycle-based experiments, it exercises the
-// transport's hardening layer (connection caps, keep-alive budgets)
-// against the two classic resource attacks the limits exist for:
+// The hostile-network experiment runs a LIVE cluster over real loopback
+// TCP — unlike the cycle-based experiments, it exercises the transport's
+// hardening layer (connection caps, keep-alive budgets) against the two
+// classic resource attacks the limits exist for:
 //
 //   - connection flood: attackers dial the victim as fast as they can and
 //     hold whatever they get; without a cap this exhausts fds and
@@ -26,10 +25,11 @@ import (
 //     holding a serve slot until the first-frame window expires.
 //
 // The claim under test is the ROADMAP's: bounded resource use at the
-// listener, with the overlay above it still converging. Timings (and
-// therefore the exact counter values) are real-network nondeterministic;
-// the invariants reported — rejects observed, evictions reclaiming slots,
-// views still complete — are not.
+// listener, with the overlay above it still converging. The cluster runs
+// on either fleet driver — under subprocess the flood hits a real psnode
+// process's listener. Timings (and therefore the exact counter values)
+// are real-network nondeterministic; the invariants reported — rejects
+// observed, evictions reclaiming slots, views still complete — are not.
 
 // hostileParams derives live-cluster parameters from a simulation Scale:
 // the cluster is necessarily much smaller than the paper's 10^4 (every
@@ -71,6 +71,8 @@ func hostileDerive(sc Scale) hostileParams {
 // on the attacked node and overlay health across the cluster.
 type HostileResult struct {
 	Params hostileParams
+	// Driver names the fleet driver that ran the cluster.
+	Driver string
 
 	FloodDials uint64 // connections the attackers opened (or tried)
 	// Victim listener counters over the whole run.
@@ -102,8 +104,8 @@ func (r *HostileResult) Converged() bool {
 func (r *HostileResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Hostile network: connection flood + slowloris against a live cluster\n")
-	fmt.Fprintf(&b, "cluster: %d nodes, c=%d, T=%v, tcp backend, max-conns=%d, keepalive=%v\n",
-		r.Params.Nodes, r.Params.ViewSize, r.Params.Period, r.Params.MaxConns, r.Params.KeepAlive)
+	fmt.Fprintf(&b, "cluster: %d nodes (%s driver), c=%d, T=%v, tcp backend, max-conns=%d, keepalive=%v\n",
+		r.Params.Nodes, r.Driver, r.Params.ViewSize, r.Params.Period, r.Params.MaxConns, r.Params.KeepAlive)
 	fmt.Fprintf(&b, "attack: %d flooders for %v -> %d connections thrown at one node\n",
 		r.Params.Flooders, r.Params.Attack, r.FloodDials)
 	fmt.Fprintf(&b, "%-34s %10s\n", "", "value")
@@ -116,93 +118,59 @@ func (r *HostileResult) Render() string {
 	return b.String()
 }
 
-// RunHostile builds a live runtime cluster on loopback TCP in which EVERY
+// RunHostile builds a live cluster on env's fleet driver in which EVERY
 // listener runs the same tight limits (cap of Nodes conns, sub-second
 // keep-alive — proving legitimate gossip fits under hostile-grade caps),
 // attacks one node with a connection flood whose connections double as
 // slowloris peers (they never send a frame), and measures whether the
 // hardening holds: rejects at the cap, evictions reclaiming slots, and
-// the overlay above still converging. The seed drives protocol
-// randomness only; socket timing is inherently real.
-func RunHostile(sc Scale, seed uint64) *HostileResult {
-	return RunHostileCollected(sc, seed, nil)
-}
-
-// RunHostileCollected is RunHostile with the cluster registered on a
-// metrics.Collector (nil skips registration): node 0 as "victim", the
-// rest as "peerNN". Serving the collector while the experiment runs (see
-// cmd/experiments -metrics-addr) exposes the attack as a live time series
-// — accept rejects and evictions climbing on the victim while every
-// node's view-size gauge holds.
-func RunHostileCollected(sc Scale, seed uint64, coll *metrics.Collector) *HostileResult {
+// the overlay above still converging. With env.Collector set, node 0 is
+// registered as "victim" and the rest as "peerNN", so serving the
+// collector while the experiment runs (see cmd/experiments -metrics-addr)
+// exposes the attack as a live time series — accept rejects and evictions
+// climbing on the victim while every node's view-size gauge holds. The
+// seed drives protocol randomness only; socket timing is inherently real.
+func RunHostile(sc Scale, seed uint64, env LiveEnv) (*HostileResult, error) {
 	p := hostileDerive(sc)
-	res := &HostileResult{Params: p}
+	res := &HostileResult{Params: p, Driver: env.DriverName()}
 
-	lim := transport.Limits{MaxConns: p.MaxConns, KeepAlive: p.KeepAlive}
-	nodes := make([]*runtime.Node, 0, p.Nodes)
-	defer func() {
-		for _, n := range nodes {
-			_ = n.Close()
-		}
-	}()
-	for i := 0; i < p.Nodes; i++ {
-		factory, err := transport.NewFactoryLimits("tcp", "127.0.0.1:0", lim)
-		if err != nil {
-			panic(err) // registry always knows "tcp"
-		}
-		n, err := runtime.New(runtime.Config{
-			Protocol: core.Newscast,
-			ViewSize: p.ViewSize,
-			Period:   p.Period,
-			Seed:     mix(seed, i),
-		}, factory)
-		if err != nil {
-			panic(fmt.Sprintf("scenario: hostile cluster node %d: %v", i, err))
-		}
-		nodes = append(nodes, n)
-		if coll != nil {
+	cluster, err := env.cluster(fleet.Config{
+		Protocol: core.Newscast,
+		ViewSize: p.ViewSize,
+		Period:   p.Period,
+		Seed:     seed,
+		Backend:  "tcp",
+		Limits:   transport.Limits{MaxConns: p.MaxConns, KeepAlive: p.KeepAlive},
+		Name: func(i int) string {
 			if i == 0 {
-				coll.Register("victim", n)
-			} else {
-				coll.Register(fmt.Sprintf("peer%02d", i), n)
+				return "victim"
 			}
-		}
+			return fmt.Sprintf("peer%02d", i)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	live := make(map[string]bool, p.Nodes)
-	for _, n := range nodes {
-		live[n.Addr()] = true
+	defer cluster.Close()
+
+	members, err := spawnLinear(cluster, p.Nodes)
+	if err != nil {
+		return nil, err
 	}
-	victim := nodes[0]
-	for i, n := range nodes {
-		if i > 0 {
-			_ = n.Init([]string{victim.Addr()})
-		}
-		_ = n.Start()
-	}
+	victim := members[0]
+	ever := liveAddrs(members)
 
 	// Let the overlay converge before the attack (bounded wait).
-	waitComplete := func(timeout time.Duration) int {
-		deadline := time.Now().Add(timeout)
-		for {
-			complete := 0
-			for _, n := range nodes {
-				if countKnownPeers(n, live) == p.Nodes-1 {
-					complete++
-				}
-			}
-			if complete == p.Nodes || time.Now().After(deadline) {
-				return complete
-			}
-			time.Sleep(p.Period)
-		}
-	}
-	waitComplete(20 * p.Period * time.Duration(p.Nodes))
+	waitCompleteViews(members, p.Period, 20*p.Period*time.Duration(p.Nodes))
 
 	// Attack: flooders dial the victim and hold everything they get open
 	// without ever writing a byte — each admitted connection is a
 	// slowloris occupying a serve slot until the first-frame window
 	// evicts it, and everything beyond the cap is rejected on accept.
-	_, victimBefore, _, _ := victim.Stats()
+	victimBefore, err := victim.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: hostile: victim snapshot: %w", err)
+	}
 	stopAttack := make(chan struct{})
 	var dials atomic.Uint64
 	var attackers sync.WaitGroup
@@ -260,37 +228,19 @@ func RunHostileCollected(sc Scale, seed uint64, coll *metrics.Collector) *Hostil
 	time.Sleep(p.Attack)
 	close(stopAttack)
 	attackers.Wait()
-	_, victimAfter, _, _ := victim.Stats()
+	victimAfter, err := victim.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: hostile: victim snapshot after attack: %w", err)
+	}
 
 	// Post-attack: give the overlay a short settle window, then measure.
-	waitComplete(10 * p.Period * time.Duration(p.Nodes))
+	res.CompleteViews, _ = waitCompleteViews(members, p.Period, 10*p.Period*time.Duration(p.Nodes))
 	res.FloodDials = dials.Load()
-	if ts, ok := victim.TransportStats(); ok {
-		res.AcceptRejects = ts.AcceptRejects
-		res.KeepAliveEvictions = ts.KeepAliveEvictions
+	if victimAfter.Wire != nil {
+		res.AcceptRejects = victimAfter.Wire.AcceptRejects
+		res.KeepAliveEvictions = victimAfter.Wire.KeepAliveEvictions
 	}
-	res.VictimExchanges = victimAfter - victimBefore
-	for _, n := range nodes {
-		if countKnownPeers(n, live) == p.Nodes-1 {
-			res.CompleteViews++
-		}
-		for _, d := range n.View() {
-			if !live[d.Addr] {
-				res.StrayDescriptors++
-			}
-		}
-	}
-	return res
-}
-
-// countKnownPeers returns how many distinct live cluster members appear
-// in n's view.
-func countKnownPeers(n *runtime.Node, live map[string]bool) int {
-	seen := make(map[string]bool)
-	for _, d := range n.View() {
-		if live[d.Addr] && d.Addr != n.Addr() {
-			seen[d.Addr] = true
-		}
-	}
-	return len(seen)
+	res.VictimExchanges = victimAfter.Exchanges - victimBefore.Exchanges
+	res.StrayDescriptors = strayDescriptors(members, ever)
+	return res, nil
 }

@@ -15,7 +15,10 @@ func TestHostileNetworkFloodRejectedWhileConverging(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live-socket attack scenario")
 	}
-	res := RunHostile(Quick, 42)
+	res, err := RunHostile(Quick, 42, LiveEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if res.FloodDials == 0 {
 		t.Fatal("the flooders never dialed; the attack did not run")

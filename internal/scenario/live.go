@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"peersampling/internal/fleet"
+	"peersampling/internal/metrics"
+	"peersampling/internal/transport"
+)
+
+// LiveEnv configures how a live experiment builds its cluster: which
+// fleet driver runs the nodes (in-process goroutines or forked psnode
+// processes) and where their metrics land. The zero value — inproc, no
+// collector — reproduces the pre-fleet behaviour of the live scenarios.
+type LiveEnv struct {
+	// Collector, when non-nil, gets every cluster member registered for
+	// continuous observation (see cmd/experiments -metrics-addr).
+	Collector *metrics.Collector
+	// Driver selects the fleet driver; empty means fleet.DriverInproc.
+	Driver string
+	// Psnode is the psnode binary path, required by the subprocess
+	// driver.
+	Psnode string
+}
+
+// DriverName returns the effective driver for result rendering.
+func (e LiveEnv) DriverName() string {
+	if e.Driver == "" {
+		return fleet.DriverInproc
+	}
+	return e.Driver
+}
+
+// cluster builds the fleet for this environment around the scenario's
+// node template.
+func (e LiveEnv) cluster(cfg fleet.Config) (fleet.Cluster, error) {
+	cfg.Collector = e.Collector
+	cfg.Psnode = e.Psnode
+	return fleet.New(e.Driver, cfg)
+}
+
+// spawnLinear boots n members: the first contactless, every later one
+// bootstrapped from the first member's address (the single-contact shape
+// of the paper's growing scenario).
+func spawnLinear(c fleet.Cluster, n int) ([]fleet.Member, error) {
+	members := make([]fleet.Member, 0, n)
+	for i := 0; i < n; i++ {
+		var contacts []string
+		if i > 0 {
+			contacts = []string{members[0].Addr()}
+		}
+		m, err := c.Spawn(contacts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: spawn member %d: %w", i, err)
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
+// liveAddrs returns the gossip addresses of the live members as a set.
+func liveAddrs(members []fleet.Member) map[string]bool {
+	live := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.Alive() {
+			live[m.Addr()] = true
+		}
+	}
+	return live
+}
+
+// knownLivePeers counts how many distinct OTHER live members appear in
+// m's view. A member whose view cannot be read (a subprocess dying under
+// the poll) counts zero peers.
+func knownLivePeers(m fleet.Member, live map[string]bool) int {
+	view, err := m.View()
+	if err != nil {
+		return 0
+	}
+	seen := map[string]bool{}
+	for _, d := range view {
+		if live[d.Addr] && d.Addr != m.Addr() {
+			seen[d.Addr] = true
+		}
+	}
+	return len(seen)
+}
+
+// completeLiveViews counts live members whose view holds every other live
+// member — the strongest convergence statement a cluster smaller than its
+// view capacity admits.
+func completeLiveViews(members []fleet.Member) (complete, liveCount int) {
+	live := liveAddrs(members)
+	for _, m := range members {
+		if !m.Alive() {
+			continue
+		}
+		if knownLivePeers(m, live) == len(live)-1 {
+			complete++
+		}
+	}
+	return complete, len(live)
+}
+
+// waitCompleteViews polls until every live member's view is complete or
+// the timeout expires, returning the final complete count and how long
+// the wait took.
+func waitCompleteViews(members []fleet.Member, period, timeout time.Duration) (complete int, waited time.Duration) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for {
+		c, live := completeLiveViews(members)
+		if c == live || time.Now().After(deadline) {
+			return c, time.Since(start)
+		}
+		time.Sleep(period)
+	}
+}
+
+// strayDescriptors counts view entries across live members that point at
+// addresses which were never part of the fleet — the contamination check:
+// churn and attacks may leave dead members' descriptors aging out of
+// views, but an address nobody ever owned must not appear.
+func strayDescriptors(members []fleet.Member, ever map[string]bool) int {
+	stray := 0
+	for _, m := range members {
+		if !m.Alive() {
+			continue
+		}
+		view, err := m.View()
+		if err != nil {
+			continue
+		}
+		for _, d := range view {
+			if !ever[d.Addr] {
+				stray++
+			}
+		}
+	}
+	return stray
+}
+
+// liveTotals sums a snapshot round into cluster-wide protocol totals,
+// wire totals and one merged latency histogram.
+func liveTotals(snaps []metrics.NodeSnapshot) (exchanges, failures, served uint64, wire transport.Stats, lat transport.LatencySnapshot) {
+	for _, s := range snaps {
+		exchanges += s.Exchanges
+		failures += s.Failures
+		served += s.Served
+		if s.Wire != nil {
+			wire.Add(*s.Wire)
+		}
+		if s.Latency != nil {
+			lat.Add(*s.Latency)
+		}
+	}
+	return
+}

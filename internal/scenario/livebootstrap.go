@@ -6,24 +6,25 @@ import (
 	"time"
 
 	"peersampling/internal/core"
-	"peersampling/internal/metrics"
-	"peersampling/internal/runtime"
+	"peersampling/internal/fleet"
 	"peersampling/internal/transport"
 )
 
 // The live bootstrap experiment is the runtime sibling of the simulator's
-// growing scenario (Section 5.1): a cluster of real nodes over loopback
-// TCP, every joiner initialised with a single contact — the first node —
-// and left to gossip until each view holds every other member. Where the
-// simulator measures the resulting topology, this experiment measures the
-// deployment-facing questions: how long bootstrap convergence takes in
-// real time, and what it costs on the wire. Timings are real-network
-// nondeterministic; the invariants reported (full convergence, no failed
-// exchanges against a healthy cluster being fatal) are not.
+// growing scenario (Section 5.1): a cluster of real nodes, every joiner
+// initialised with a single contact — the first node — and left to gossip
+// until each view holds every other member. Where the simulator measures
+// the resulting topology, this experiment measures the deployment-facing
+// questions: how long bootstrap convergence takes in real time, and what
+// it costs on the wire. It runs on either fleet driver: goroutine nodes
+// in this process, or forked psnode processes observed through their
+// control agents. Timings are real-network nondeterministic; the
+// invariants reported (full convergence, no failed exchanges against a
+// healthy cluster being fatal) are not.
 
 // liveBootstrapParams derives the live cluster's shape from a simulation
-// Scale, the same way the hostile experiment does: small enough that every
-// node can own a real listener.
+// Scale: small enough that every node can own a real listener (and, under
+// the subprocess driver, a real process).
 type liveBootstrapParams struct {
 	Nodes    int           // live cluster size
 	ViewSize int           // view capacity, capped below cluster size
@@ -53,6 +54,8 @@ func liveBootstrapDerive(sc Scale) liveBootstrapParams {
 // bootstrapping a live cluster from a single contact.
 type LiveBootstrapResult struct {
 	Params liveBootstrapParams
+	// Driver names the fleet driver that ran the cluster.
+	Driver string
 
 	// CompleteViews counts nodes whose final view contains every other
 	// member; convergence means all of them.
@@ -67,6 +70,8 @@ type LiveBootstrapResult struct {
 	// Wire sums every node's transport counters; BytesOut across the
 	// cluster is the total bootstrap traffic.
 	Wire transport.Stats
+	// Latency merges every node's exchange round-trip histogram.
+	Latency transport.LatencySnapshot
 }
 
 // ID implements Result.
@@ -81,8 +86,8 @@ func (r *LiveBootstrapResult) Converged() bool {
 func (r *LiveBootstrapResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Live bootstrap: single-contact cluster convergence over loopback TCP\n")
-	fmt.Fprintf(&b, "cluster: %d nodes, c=%d, T=%v, tcp backend, one contact node\n",
-		r.Params.Nodes, r.Params.ViewSize, r.Params.Period)
+	fmt.Fprintf(&b, "cluster: %d nodes (%s driver), c=%d, T=%v, one contact node\n",
+		r.Params.Nodes, r.Driver, r.Params.ViewSize, r.Params.Period)
 	fmt.Fprintf(&b, "%-34s %10s\n", "", "value")
 	fmt.Fprintf(&b, "%-34s %7d/%2d\n", "complete views", r.CompleteViews, r.Params.Nodes)
 	fmt.Fprintf(&b, "%-34s %10v\n", "time to full views", r.ConvergeTime.Round(time.Millisecond))
@@ -91,89 +96,53 @@ func (r *LiveBootstrapResult) Render() string {
 	fmt.Fprintf(&b, "%-34s %10d\n", "passive exchanges served", r.Served)
 	fmt.Fprintf(&b, "%-34s %10d\n", "connections dialed", r.Wire.Dials)
 	fmt.Fprintf(&b, "%-34s %10d\n", "bytes on the wire (out)", r.Wire.BytesOut)
+	if r.Latency.Count > 0 {
+		fmt.Fprintf(&b, "%-34s %7.2fms\n", "exchange latency p50", r.Latency.Quantile(0.50)*1000)
+		fmt.Fprintf(&b, "%-34s %7.2fms\n", "exchange latency p99", r.Latency.Quantile(0.99)*1000)
+	}
 	fmt.Fprintf(&b, "converged: %v\n", r.Converged())
 	return b.String()
 }
 
-// RunLiveBootstrap boots the cluster, waits (bounded) for every view to
-// complete and reports totals. A non-nil collector gets every node
-// registered as "nodeNN" before the cluster starts, so a scrape or dump
-// attached by cmd/experiments observes the whole convergence transient.
-// The seed drives protocol randomness only; socket timing is real.
-func RunLiveBootstrap(sc Scale, seed uint64, coll *metrics.Collector) *LiveBootstrapResult {
+// RunLiveBootstrap boots the cluster on env's fleet driver, waits
+// (bounded) for every view to complete and reports totals from a final
+// snapshot round. With env.Collector set, every member is registered
+// before gossip starts, so a scrape or dump attached by cmd/experiments
+// observes the whole convergence transient — through the remote Source
+// when the members are real processes. The seed drives protocol
+// randomness only; socket timing is real.
+func RunLiveBootstrap(sc Scale, seed uint64, env LiveEnv) (*LiveBootstrapResult, error) {
 	p := liveBootstrapDerive(sc)
-	res := &LiveBootstrapResult{Params: p}
+	res := &LiveBootstrapResult{Params: p, Driver: env.DriverName()}
 
-	nodes := make([]*runtime.Node, 0, p.Nodes)
-	defer func() {
-		for _, n := range nodes {
-			_ = n.Close()
-		}
-	}()
-	for i := 0; i < p.Nodes; i++ {
-		factory, err := transport.NewFactory("tcp", "127.0.0.1:0")
-		if err != nil {
-			panic(err) // registry always knows "tcp"
-		}
-		n, err := runtime.New(runtime.Config{
-			Protocol: core.Newscast,
-			ViewSize: p.ViewSize,
-			Period:   p.Period,
-			Seed:     mix(seed, i),
-		}, factory)
-		if err != nil {
-			panic(fmt.Sprintf("scenario: bootstrap cluster node %d: %v", i, err))
-		}
-		nodes = append(nodes, n)
-		if coll != nil {
-			coll.Register(fmt.Sprintf("node%02d", i), n)
-		}
+	cluster, err := env.cluster(fleet.Config{
+		Protocol: core.Newscast,
+		ViewSize: p.ViewSize,
+		Period:   p.Period,
+		Seed:     seed,
+		Backend:  "tcp",
+	})
+	if err != nil {
+		return nil, err
 	}
-	live := make(map[string]bool, p.Nodes)
-	for _, n := range nodes {
-		live[n.Addr()] = true
-	}
+	defer cluster.Close()
 
+	members, err := spawnLinear(cluster, p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	// The clock starts after the spawn: under the subprocess driver,
+	// forking a dozen daemons costs far more wall time than gossip
+	// convergence at T=20ms, and that cost is the driver's, not the
+	// protocol's. Gossip already runs while later members boot, so this
+	// measures "time from full fleet to full views" on either driver.
 	start := time.Now()
-	contact := nodes[0]
-	for i, n := range nodes {
-		if i > 0 {
-			_ = n.Init([]string{contact.Addr()})
-		}
-		_ = n.Start()
-	}
-
-	deadline := time.Now().Add(20 * p.Period * time.Duration(p.Nodes))
-	for {
-		complete := 0
-		for _, n := range nodes {
-			if countKnownPeers(n, live) == p.Nodes-1 {
-				complete++
-			}
-		}
-		res.CompleteViews = complete
-		if complete == p.Nodes || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(p.Period)
-	}
+	res.CompleteViews, _ = waitCompleteViews(members, p.Period, 20*p.Period*time.Duration(p.Nodes))
 	res.ConvergeTime = time.Since(start)
 
-	// Stop the cluster before tallying so the totals are a consistent
-	// final state (Close is idempotent; the deferred close becomes a
-	// no-op). Views and counters stay readable on closed nodes, which is
-	// also what lets an attached collector snapshot the end state.
-	for _, n := range nodes {
-		_ = n.Close()
-	}
-	for _, n := range nodes {
-		_, ex, fail, served := n.Stats()
-		res.Exchanges += ex
-		res.Failures += fail
-		res.Served += served
-		if ts, ok := n.TransportStats(); ok {
-			res.Wire.Add(ts)
-		}
-	}
-	return res
+	// One final snapshot round is the totals: the cluster keeps gossiping
+	// while it is taken, so cross-node sums are consistent only to within
+	// the exchanges in flight — the same contract as a live scrape.
+	res.Exchanges, res.Failures, res.Served, res.Wire, res.Latency = liveTotals(cluster.Snapshot())
+	return res, nil
 }

@@ -16,10 +16,16 @@ func TestLiveBootstrapConvergesAndIsObservable(t *testing.T) {
 		t.Skip("live-socket scenario")
 	}
 	coll := metrics.New()
-	res := RunLiveBootstrap(Quick, 7, coll)
+	res, err := RunLiveBootstrap(Quick, 7, LiveEnv{Collector: coll})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if !res.Converged() {
 		t.Fatalf("cluster did not converge: %d/%d complete views", res.CompleteViews, res.Params.Nodes)
+	}
+	if res.Driver != "inproc" {
+		t.Fatalf("default driver = %q", res.Driver)
 	}
 	if res.Exchanges == 0 || res.Served == 0 {
 		t.Fatalf("no gossip happened: %+v", res)
@@ -27,10 +33,16 @@ func TestLiveBootstrapConvergesAndIsObservable(t *testing.T) {
 	if res.Wire.Dials == 0 || res.Wire.BytesOut == 0 {
 		t.Fatalf("wire counters flat: %+v", res.Wire)
 	}
+	if res.Latency.Count == 0 {
+		t.Fatalf("no exchange latencies recorded: %+v", res.Latency)
+	}
+	if p50, p99 := res.Latency.Quantile(0.5), res.Latency.Quantile(0.99); p50 <= 0 || p99 < p50 {
+		t.Fatalf("latency quantiles inconsistent: p50=%v p99=%v", p50, p99)
+	}
 	if res.ID() != "bootstrap" {
 		t.Fatalf("ID() = %q", res.ID())
 	}
-	for _, want := range []string{"complete views", "bytes on the wire", "converged: true"} {
+	for _, want := range []string{"complete views", "bytes on the wire", "latency p50", "inproc driver", "converged: true"} {
 		if !strings.Contains(res.Render(), want) {
 			t.Fatalf("Render() missing %q:\n%s", want, res.Render())
 		}
@@ -52,8 +64,10 @@ func TestLiveBootstrapConvergesAndIsObservable(t *testing.T) {
 		}
 		exchanges += s.Exchanges
 	}
-	if exchanges != res.Exchanges {
-		t.Errorf("collector sees %d exchanges, result reports %d", exchanges, res.Exchanges)
+	// The result's totals were taken while the cluster still gossiped;
+	// the collector's final numbers can only have moved forward.
+	if exchanges < res.Exchanges {
+		t.Errorf("collector sees %d exchanges, result reported %d", exchanges, res.Exchanges)
 	}
 	if snaps[0].Node != "node00" {
 		t.Errorf("first registered node = %q want node00", snaps[0].Node)

@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/fleet"
+)
+
+// The live churn experiment is the fleet-scale sibling of the simulated
+// "churn" scenario and the harness the multi-process driver exists for:
+// a live cluster in which a fraction of the members is killed outright
+// every round — under the subprocess driver that is SIGKILL against real
+// psnode processes, taking kernel connection state and in-flight
+// exchanges with them — then replaced by fresh joiners bootstrapped from
+// the survivors. The paper's claim under test is self-healing: the
+// overlay must re-converge among survivors after every kill wave and
+// absorb the replacements to full membership, with failed exchanges
+// against dead peers staying routine noise.
+
+// liveChurnParams derives the fleet's shape from a simulation Scale.
+type liveChurnParams struct {
+	Nodes        int           // fleet size at full strength
+	ViewSize     int           // view capacity, capped below fleet size
+	Period       time.Duration // gossip period T
+	KillFraction float64       // fraction of live members killed per round
+	Rounds       int           // kill/respawn rounds
+}
+
+func liveChurnDerive(sc Scale) liveChurnParams {
+	nodes := sc.N / 50
+	if nodes < 8 {
+		nodes = 8
+	}
+	if nodes > 24 {
+		nodes = 24
+	}
+	view := sc.ViewSize
+	if view > nodes-1 {
+		view = nodes - 1
+	}
+	return liveChurnParams{
+		Nodes:        nodes,
+		ViewSize:     view,
+		Period:       20 * time.Millisecond,
+		KillFraction: 0.25,
+		Rounds:       2,
+	}
+}
+
+// LiveChurnRound reports one kill/respawn wave.
+type LiveChurnRound struct {
+	// Killed is how many members this round removed; Respawned how many
+	// fresh joiners replaced them.
+	Killed    int
+	Respawned int
+	// SurvivorsReconverged reports whether every survivor's view was
+	// complete (among survivors) before the respawn; AfterKill is how
+	// long that took.
+	SurvivorsReconverged bool
+	AfterKill            time.Duration
+	// FullReconverged reports whether the fleet reached full complete
+	// views again after the respawn; AfterRespawn is how long that took.
+	FullReconverged bool
+	AfterRespawn    time.Duration
+}
+
+// LiveChurnResult reports the live churn experiment.
+type LiveChurnResult struct {
+	Params liveChurnParams
+	// Driver names the fleet driver that ran the cluster.
+	Driver string
+
+	// BootstrapComplete counts complete views after initial bootstrap
+	// (must be Nodes for the experiment to mean anything).
+	BootstrapComplete int
+	BootstrapTime     time.Duration
+	Rounds            []LiveChurnRound
+	// KilledTotal is the total members killed across rounds.
+	KilledTotal int
+	// FinalCompleteViews / FinalLive is the end-state convergence count.
+	FinalCompleteViews int
+	FinalLive          int
+	// Failures counts failed exchanges fleet-wide at the end — churn
+	// guarantees some; none of them may have been fatal.
+	Failures uint64
+	// StrayDescriptors counts view entries naming addresses no fleet
+	// member ever owned; must be 0 (dead members' addresses aging out of
+	// views are legitimate and not counted).
+	StrayDescriptors int
+}
+
+// ID implements Result.
+func (r *LiveChurnResult) ID() string { return "livechurn" }
+
+// Converged reports whether the fleet re-converged after every wave and
+// ended at full, uncontaminated membership.
+func (r *LiveChurnResult) Converged() bool {
+	if r.BootstrapComplete != r.Params.Nodes {
+		return false
+	}
+	for _, round := range r.Rounds {
+		if !round.SurvivorsReconverged || !round.FullReconverged {
+			return false
+		}
+	}
+	return r.FinalLive == r.Params.Nodes &&
+		r.FinalCompleteViews == r.FinalLive &&
+		r.StrayDescriptors == 0
+}
+
+// Render implements Result.
+func (r *LiveChurnResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Live churn: kill and respawn waves against a real fleet\n")
+	fmt.Fprintf(&b, "fleet: %d nodes (%s driver), c=%d, T=%v, %.0f%% killed per round, %d rounds\n",
+		r.Params.Nodes, r.Driver, r.Params.ViewSize, r.Params.Period,
+		r.Params.KillFraction*100, r.Params.Rounds)
+	fmt.Fprintf(&b, "%-38s %10s\n", "", "value")
+	fmt.Fprintf(&b, "%-38s %7d/%2d\n", "complete views after bootstrap", r.BootstrapComplete, r.Params.Nodes)
+	fmt.Fprintf(&b, "%-38s %10v\n", "bootstrap time", r.BootstrapTime.Round(time.Millisecond))
+	for i, round := range r.Rounds {
+		fmt.Fprintf(&b, "round %d: killed %d, survivors re-converged=%v in %v; respawned %d, full views=%v in %v\n",
+			i+1, round.Killed, round.SurvivorsReconverged, round.AfterKill.Round(time.Millisecond),
+			round.Respawned, round.FullReconverged, round.AfterRespawn.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "%-38s %10d\n", "members killed in total", r.KilledTotal)
+	fmt.Fprintf(&b, "%-38s %7d/%2d\n", "final complete views", r.FinalCompleteViews, r.FinalLive)
+	fmt.Fprintf(&b, "%-38s %10d\n", "failed exchanges absorbed", r.Failures)
+	fmt.Fprintf(&b, "%-38s %10d\n", "stray view entries", r.StrayDescriptors)
+	fmt.Fprintf(&b, "re-converged through churn: %v\n", r.Converged())
+	return b.String()
+}
+
+// RunLiveChurn boots a fleet on env's fleet driver, then repeatedly kills
+// KillFraction of the live members (hard kill — no goodbye gossip) and
+// respawns the same number against surviving contacts, asserting
+// re-convergence after each wave. Kill victims are chosen by the seeded
+// RNG; with env.Collector set, respawned members register under fresh
+// names and dead subprocess members stay visible as stale sources. The
+// seed drives victim choice and protocol randomness; timing is real.
+func RunLiveChurn(sc Scale, seed uint64, env LiveEnv) (*LiveChurnResult, error) {
+	p := liveChurnDerive(sc)
+	res := &LiveChurnResult{Params: p, Driver: env.DriverName()}
+	rng := newRand(mix(seed, 0x4C1))
+
+	cluster, err := env.cluster(fleet.Config{
+		Protocol: core.Newscast,
+		ViewSize: p.ViewSize,
+		Period:   p.Period,
+		Seed:     seed,
+		Backend:  "tcp",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	members, err := spawnLinear(cluster, p.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	ever := liveAddrs(members)
+	// Dead members drop out of Cluster.Snapshot, so their failure
+	// counters are captured at kill time to keep the fleet-wide total
+	// honest — the killed members are exactly the ones churn hit.
+	var deadFailures uint64
+	// Subprocess members take real process-spawn time; the flat grace on
+	// top of the gossip-scaled deadline covers it on loaded CI machines.
+	phaseTimeout := 30*p.Period*time.Duration(p.Nodes) + 5*time.Second
+
+	res.BootstrapComplete, res.BootstrapTime = waitCompleteViews(members, p.Period, phaseTimeout)
+
+	for round := 0; round < p.Rounds; round++ {
+		report := LiveChurnRound{}
+
+		// Kill wave: pick ceil(fraction * live) distinct live members.
+		alive := make([]fleet.Member, 0, len(members))
+		for _, m := range members {
+			if m.Alive() {
+				alive = append(alive, m)
+			}
+		}
+		kill := (len(alive)*int(p.KillFraction*100) + 99) / 100
+		if kill < 1 {
+			kill = 1
+		}
+		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+		for _, victim := range alive[:kill] {
+			if s, err := victim.Snapshot(); err == nil {
+				deadFailures += s.Failures
+			}
+			if err := cluster.Kill(victim); err != nil {
+				return nil, fmt.Errorf("scenario: churn round %d: kill %s: %w", round+1, victim.Name(), err)
+			}
+		}
+		report.Killed = kill
+		res.KilledTotal += kill
+
+		// Survivors must re-converge among themselves.
+		var complete int
+		complete, report.AfterKill = waitCompleteViews(members, p.Period, phaseTimeout)
+		_, live := completeLiveViews(members)
+		report.SurvivorsReconverged = complete == live
+
+		// Respawn wave: fresh joiners bootstrapped from surviving
+		// contacts (up to three, like a deployment's contact list).
+		contacts := cluster.Addrs()
+		if len(contacts) > 3 {
+			contacts = contacts[:3]
+		}
+		for i := 0; i < kill; i++ {
+			m, err := cluster.Spawn(contacts)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: churn round %d: respawn: %w", round+1, err)
+			}
+			members = append(members, m)
+			ever[m.Addr()] = true
+			report.Respawned++
+		}
+		complete, report.AfterRespawn = waitCompleteViews(members, p.Period, phaseTimeout)
+		_, live = completeLiveViews(members)
+		report.FullReconverged = complete == live && live == p.Nodes
+
+		res.Rounds = append(res.Rounds, report)
+	}
+
+	res.FinalCompleteViews, res.FinalLive = completeLiveViews(members)
+	res.StrayDescriptors = strayDescriptors(members, ever)
+	_, res.Failures, _, _, _ = liveTotals(cluster.Snapshot())
+	res.Failures += deadFailures
+	return res, nil
+}
