@@ -1,51 +1,36 @@
 // Command psnode runs a real peer sampling node: the deployable daemon
-// form of the service. Peers find each other through the -contacts
-// bootstrap list and keep gossiping membership from then on. The wire
-// backend is selected with -transport: "tcp-pooled" (persistent
-// connections, the default), "tcp" (dial per exchange) or "udp" (one
-// datagram per message).
+// form of the service. The daemon is configured from a YAML or JSON
+// file (-config), from flags, or from both — flags the user actually
+// types override the file, untouched flags keep the file's values.
+// Peers find each other through the configured bootstrap contacts and
+// keep gossiping membership from then on.
 //
 // Usage:
 //
+//	psnode -config psnode.yaml
 //	psnode -listen 127.0.0.1:7946 -metrics-addr 127.0.0.1:9090
-//	psnode -listen 127.0.0.1:7947 -contacts 127.0.0.1:7946 -transport udp
+//	psnode -config psnode.yaml -c 50 -transport udp
 //
-// The listener is hardened against hostile networks: -max-conns caps the
-// connections served concurrently (excess accepts are closed and counted)
-// and -keepalive sets the read budget a served connection earns after its
-// first pull; peers that only ever push get 3/4 of it, and a connection
-// that never sends its opening frame is dropped at the slowloris window.
-// Zero values select the library defaults (1024 conns, 2m keep-alive).
+// Everything around the node — the Prometheus metrics server, the
+// periodic CSV/JSONL dumper, the report logger, the fleet control agent
+// and the light-client sampling gateway — runs as a daemon plugin (see
+// internal/daemon); each comes up only when its address or path is
+// configured, and all report into the aggregated /healthz served on the
+// control and gateway ports.
 //
-// The daemon is continuously observable: -metrics-addr serves Prometheus
-// text-format metrics on GET /metrics (protocol counters, every wire
-// counter, the exchange-latency histogram, view-shape gauges), and
-// -metrics-csv appends the same snapshots every -report interval as
-// long-form CSV (node,cycle,metric,value — the schema the experiment
-// renderers emit; a .jsonl extension selects JSONL instead). The periodic
-// report log is driven by the same collector. Stop with SIGINT/SIGTERM.
-//
-// The daemon is also remotely drivable: -control-addr serves the fleet
-// agent (GET /healthz, /snapshot, /view; POST /stop — see
-// internal/fleet's package doc for the contract), which is how the
-// subprocess cluster driver herds psnode fleets, and -ready-file makes
-// the daemon atomically write its bound addresses as JSON once it is up,
-// so a parent process discovers ephemeral ports without parsing logs.
+// A daemon started with -config reloads it on SIGHUP: hot fields
+// (transport limits, report interval, gateway tuning, added contacts)
+// are applied to the running process, restart-required fields are
+// logged and kept at their running values. Stop with SIGINT/SIGTERM or
+// the control agent's POST /stop.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
-	"strings"
-	"sync"
-	"syscall"
-	"time"
 
 	"peersampling"
-	"peersampling/internal/fleet"
 )
 
 func main() {
@@ -56,165 +41,44 @@ func main() {
 	}
 }
 
-// run owns the whole daemon lifecycle. Errors return instead of calling
-// log.Fatal so every deferred shutdown (node close, metrics server, dump
-// file) runs on the failure paths too — log.Fatal after the node existed
-// used to leak the listener and pooled connections.
+// run is a thin shell over internal/config + internal/daemon: resolve
+// the effective config (file, then explicitly-set flag overrides), hand
+// it to a daemon manager, and let Run own signals and reload.
 func run() error {
-	var (
-		listen  = flag.String("listen", "127.0.0.1:0", "listen address")
-		backend = flag.String("transport", "tcp-pooled",
-			fmt.Sprintf("wire backend, one of %v; tcp and tcp-pooled interoperate, udp nodes only reach udp nodes", peersampling.TransportBackends()))
-		contacts  = flag.String("contacts", "", "comma-separated bootstrap addresses")
-		protoFlag = flag.String("protocol", "(rand,head,pushpull)", "protocol tuple")
-		viewSize  = flag.Int("c", 30, "view size")
-		period    = flag.Duration("period", time.Second, "gossip period T")
-		report    = flag.Duration("report", 5*time.Second, "view report and CSV dump interval")
-		diverse   = flag.Bool("diverse", false, "diversity-maximising getPeer")
-		maxConns  = flag.Int("max-conns", 0,
-			"max connections served concurrently (0 = default 1024, negative = unlimited)")
-		keepalive = flag.Duration("keepalive", 0,
-			"keep-alive budget for served connections that pull (0 = default 2m; push-only peers get 3/4 of it)")
-		metricsAddr = flag.String("metrics-addr", "",
-			"serve Prometheus text-format metrics on http://<addr>/metrics (empty = disabled)")
-		metricsCSV = flag.String("metrics-csv", "",
-			"append periodic metric snapshots to this file; .jsonl selects JSONL, anything else long-form CSV (empty = disabled)")
-		controlAddr = flag.String("control-addr", "",
-			"serve the fleet control agent on this address: GET /healthz, /snapshot, /view; POST /stop (empty = disabled)")
-		readyFile = flag.String("ready-file", "",
-			"atomically write the daemon's bound addresses as JSON to this path once up (empty = disabled)")
-	)
+	fs := flag.CommandLine
+	cfgPath := fs.String("config", "", "load configuration from this YAML or JSON file; flags you set override it")
+	flags := peersampling.ConfigFromFlags(fs)
 	flag.Parse()
-
-	if *report <= 0 {
-		return fmt.Errorf("-report must be positive, got %v", *report)
+	if args := fs.Args(); len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %v", args)
 	}
-	proto, err := peersampling.ParseProtocol(*protoFlag)
+
+	load := func() (peersampling.Config, error) {
+		cfg := peersampling.DefaultConfig()
+		if *cfgPath != "" {
+			var err error
+			if cfg, err = peersampling.LoadConfig(*cfgPath); err != nil {
+				return cfg, err
+			}
+		}
+		// The same overlay applies on SIGHUP reloads: a flag typed at boot
+		// keeps winning over the re-read file, like an env override would.
+		flags.Apply(&cfg)
+		return cfg, cfg.Validate()
+	}
+
+	cfg, err := load()
 	if err != nil {
 		return err
 	}
-	factory, err := peersampling.NewTransportFactoryLimits(*backend, *listen, peersampling.TransportLimits{
-		MaxConns:  *maxConns,
-		KeepAlive: *keepalive,
-	})
+	m, err := peersampling.NewDaemon(cfg, peersampling.DaemonOptions{Logf: log.Printf})
 	if err != nil {
 		return err
 	}
-	node, err := peersampling.NewNode(peersampling.NodeConfig{
-		Protocol: proto,
-		ViewSize: *viewSize,
-		Period:   *period,
-		Diverse:  *diverse,
-		OnError:  func(err error) { log.Printf("exchange failed: %v", err) },
-	}, factory)
-	if err != nil {
-		return err
+	if *cfgPath == "" {
+		// Without a file there is nothing to re-read; Run logs and ignores
+		// SIGHUP instead of reloading.
+		return m.Run(nil)
 	}
-	defer node.Close()
-
-	coll := peersampling.NewCollector()
-	coll.Register("", node) // registered under the node's own address
-	if *metricsAddr != "" {
-		srv, err := peersampling.NewMetricsServer(coll, *metricsAddr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		log.Printf("metrics: serving http://%s/metrics", srv.Addr())
-	}
-	if *metricsCSV != "" {
-		dumper, err := peersampling.NewMetricsFileDumper(coll, *metricsCSV)
-		if err != nil {
-			return err
-		}
-		defer dumper.Close()
-		dumper.Start(*report)
-		defer func() {
-			if err := dumper.Stop(); err != nil {
-				log.Printf("metrics: final dump: %v", err)
-			}
-		}()
-		log.Printf("metrics: dumping to %s every %v", *metricsCSV, *report)
-	}
-
-	// stopRequests unifies the two ways the daemon is told to exit: POSIX
-	// signals and the control agent's POST /stop.
-	stopRequests := make(chan struct{})
-	var stopOnce sync.Once
-	requestStop := func() { stopOnce.Do(func() { close(stopRequests) }) }
-
-	info := fleet.AgentInfo{
-		PID:             os.Getpid(),
-		Addr:            node.Addr(),
-		StartUnixMillis: time.Now().UnixMilli(),
-	}
-	if *controlAddr != "" {
-		agent, err := fleet.NewAgent(*controlAddr, node, requestStop)
-		if err != nil {
-			return err
-		}
-		defer agent.Close()
-		info = agent.Info()
-		log.Printf("control agent on http://%s (healthz, snapshot, view, stop)", agent.Addr())
-	}
-
-	if *contacts != "" {
-		if err := node.Init(strings.Split(*contacts, ",")); err != nil {
-			return err
-		}
-	}
-	if err := node.Start(); err != nil {
-		return err
-	}
-	log.Printf("listening on %s (%s), protocol %s, c=%d, period %v", node.Addr(), *backend, proto, *viewSize, *period)
-
-	// The ready file is written last: its existence promises every
-	// listener above is bound and gossip is running.
-	if *readyFile != "" {
-		if err := fleet.WriteReady(*readyFile, info); err != nil {
-			return err
-		}
-	}
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
-	ticker := time.NewTicker(*report)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-stop:
-			log.Print("shutting down")
-			return nil
-		case <-stopRequests:
-			log.Print("shutting down (control agent stop)")
-			return nil
-		case <-ticker.C:
-			view := node.View()
-			entries := make([]string, len(view))
-			for i, d := range view {
-				entries[i] = fmt.Sprintf("%s@%d", d.Addr, d.Hop)
-			}
-			log.Printf("view(%d): %s", len(view), strings.Join(entries, " "))
-			// The report lines are the same snapshots the /metrics
-			// endpoint and the CSV dump serve.
-			for _, s := range coll.Snapshot() {
-				log.Printf("stats: cycles=%d exchanges=%d failures=%d served=%d view=%d hops=[%d %.1f %d]",
-					s.Cycles, s.Exchanges, s.Failures, s.Served, s.ViewSize, s.HopMin, s.HopMean, s.HopMax)
-				if s.Wire != nil {
-					parts := make([]string, 0, 9)
-					for _, c := range s.Wire.Named() {
-						parts = append(parts, fmt.Sprintf("%s=%d", c.Name, c.Value))
-					}
-					log.Printf("wire: %s", strings.Join(parts, " "))
-				}
-				if s.Latency != nil && s.Latency.Count > 0 {
-					log.Printf("latency: p50=%.2fms p99=%.2fms over %d exchanges",
-						s.Latency.Quantile(0.50)*1000, s.Latency.Quantile(0.99)*1000, s.Latency.Count)
-				}
-			}
-			if peer, err := node.GetPeer(); err == nil {
-				log.Printf("getPeer() -> %s", peer)
-			}
-		}
-	}
+	return m.Run(load)
 }

@@ -1,0 +1,276 @@
+package config
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/transport"
+)
+
+// Version is the config schema version this build speaks. A document
+// declaring a different version is rejected outright: silently reading
+// a future schema risks running a daemon on half-understood intent.
+const Version = 1
+
+// Config is the deployable daemon's whole configuration: everything
+// cmd/psnode used to take as flags, grouped by subsystem. The zero
+// value is not runnable; start from Default (what LoadFile does) so
+// every unset field carries its documented default.
+type Config struct {
+	// Version is the config schema version; Default sets it to Version.
+	Version int
+
+	// Node parameterises the sampling node itself.
+	Node NodeSection
+	// Transport selects and hardens the wire backend.
+	Transport TransportSection
+	// Metrics configures the observability plugins.
+	Metrics MetricsSection
+	// Control configures the fleet control agent and ready file.
+	Control ControlSection
+	// Gateway configures the light-client sampling API.
+	Gateway GatewaySection
+}
+
+// NodeSection configures the protocol instance (config keys under
+// "node:").
+type NodeSection struct {
+	// Listen is the gossip listen address; it doubles as the node's
+	// identity, so bind an address peers can reach.
+	Listen string
+	// Contacts are the bootstrap addresses handed to Init.
+	Contacts []string
+	// Protocol is the paper's tuple notation, e.g. "(rand,head,pushpull)".
+	Protocol string
+	// ViewSize is the partial view capacity c.
+	ViewSize int
+	// Period is the gossip cycle length T.
+	Period time.Duration
+	// Diverse selects the diversity-maximising GetPeer refinement.
+	Diverse bool
+}
+
+// TransportSection selects the wire backend and its hardening limits
+// (config keys under "transport:").
+type TransportSection struct {
+	// Backend names the registered transport ("tcp", "tcp-pooled", "udp").
+	Backend string
+	// MaxConns caps concurrently served connections (0 = library
+	// default, negative = unlimited). Hot-reloadable.
+	MaxConns int
+	// KeepAlive is the read budget for served connections that pull
+	// (0 = library default). Hot-reloadable.
+	KeepAlive time.Duration
+	// PushOnlyKeepAlive is the shrunken budget for push-only peers
+	// (0 derives 3/4 of KeepAlive). Hot-reloadable.
+	PushOnlyKeepAlive time.Duration
+	// FirstFrameTimeout is the slowloris window before a connection's
+	// opening frame (0 = library default). Hot-reloadable.
+	FirstFrameTimeout time.Duration
+}
+
+// Limits converts the section into the transport layer's Limits shape.
+func (t TransportSection) Limits() transport.Limits {
+	return transport.Limits{
+		MaxConns:          t.MaxConns,
+		KeepAlive:         t.KeepAlive,
+		PushOnlyKeepAlive: t.PushOnlyKeepAlive,
+		FirstFrameTimeout: t.FirstFrameTimeout,
+	}
+}
+
+// MetricsSection configures the observability plugins (config keys
+// under "metrics:").
+type MetricsSection struct {
+	// Addr serves Prometheus text-format metrics on GET /metrics when
+	// non-empty.
+	Addr string
+	// Dump appends periodic snapshots to this file when non-empty
+	// (.jsonl selects JSONL, anything else long-form CSV).
+	Dump string
+	// ReportInterval paces the dump rounds and the periodic report log.
+	// Hot-reloadable.
+	ReportInterval time.Duration
+}
+
+// ControlSection configures the fleet control surface (config keys
+// under "control:").
+type ControlSection struct {
+	// Addr serves the fleet agent (GET /healthz, /snapshot, /view; POST
+	// /stop) when non-empty.
+	Addr string
+	// ReadyFile, when non-empty, is atomically written with the
+	// daemon's bound addresses once every subsystem is up.
+	ReadyFile string
+}
+
+// GatewaySection configures the light-client sampling API (config keys
+// under "gateway:"). The gateway is enabled when Addr is non-empty.
+type GatewaySection struct {
+	// Addr serves GET /v1/sample and GET /healthz when non-empty.
+	Addr string
+	// BatchSize is how many distinct peers the sample cache targets per
+	// refresh. Hot-reloadable.
+	BatchSize int
+	// Refresh is the cache refresh interval. Hot-reloadable.
+	Refresh time.Duration
+	// RateRPS is the per-client token refill rate (requests/second).
+	// Hot-reloadable.
+	RateRPS float64
+	// Burst is the per-client token bucket capacity. Hot-reloadable.
+	Burst int
+}
+
+// Default returns the runnable baseline configuration: a loopback
+// tcp-pooled node with the paper's canonical protocol and no optional
+// plugins enabled. LoadFile and flag overlays start from this, so a
+// config file only needs the fields it changes.
+func Default() Config {
+	return Config{
+		Version: Version,
+		Node: NodeSection{
+			Listen:   "127.0.0.1:0",
+			Protocol: "(rand,head,pushpull)",
+			ViewSize: 30,
+			Period:   time.Second,
+		},
+		Transport: TransportSection{
+			Backend: "tcp-pooled",
+		},
+		Metrics: MetricsSection{
+			ReportInterval: 5 * time.Second,
+		},
+		Gateway: GatewaySection{
+			BatchSize: 64,
+			Refresh:   time.Second,
+			RateRPS:   5,
+			Burst:     10,
+		},
+	}
+}
+
+// Protocol parses the configured protocol tuple. Validate guarantees it
+// parses, so callers after validation may ignore the error.
+func (c Config) Protocol() (core.Protocol, error) {
+	return core.ParseProtocol(c.Node.Protocol)
+}
+
+// GatewayEnabled reports whether the config asks for the sampling
+// gateway.
+func (c Config) GatewayEnabled() bool { return c.Gateway.Addr != "" }
+
+// Validate checks every field and returns the first violation as a
+// field-path error ("node.view_size: must be positive"). A validated
+// Default()-based config always passes.
+func (c Config) Validate() error {
+	if c.Version != Version {
+		return fmt.Errorf("version: config schema version %d is not supported (this build speaks version %d)", c.Version, Version)
+	}
+	if err := validateHostPort("node.listen", c.Node.Listen, true); err != nil {
+		return err
+	}
+	for i, contact := range c.Node.Contacts {
+		if strings.TrimSpace(contact) == "" {
+			return fmt.Errorf("node.contacts[%d]: empty contact address", i)
+		}
+	}
+	if _, err := core.ParseProtocol(c.Node.Protocol); err != nil {
+		return fmt.Errorf("node.protocol: %w", err)
+	}
+	if c.Node.ViewSize <= 0 {
+		return fmt.Errorf("node.view_size: must be positive, got %d", c.Node.ViewSize)
+	}
+	if c.Node.Period <= 0 {
+		return fmt.Errorf("node.period: must be positive, got %v", c.Node.Period)
+	}
+	if !backendKnown(c.Transport.Backend) {
+		return fmt.Errorf("transport.backend: unknown backend %q (available: %v)", c.Transport.Backend, transport.Backends())
+	}
+	if err := validateLimits(c.Transport); err != nil {
+		return err
+	}
+	if err := validateHostPort("metrics.addr", c.Metrics.Addr, false); err != nil {
+		return err
+	}
+	if c.Metrics.ReportInterval <= 0 {
+		return fmt.Errorf("metrics.report_interval: must be positive, got %v", c.Metrics.ReportInterval)
+	}
+	if err := validateHostPort("control.addr", c.Control.Addr, false); err != nil {
+		return err
+	}
+	if err := validateHostPort("gateway.addr", c.Gateway.Addr, false); err != nil {
+		return err
+	}
+	if c.GatewayEnabled() {
+		if c.Gateway.BatchSize <= 0 {
+			return fmt.Errorf("gateway.batch_size: must be positive, got %d", c.Gateway.BatchSize)
+		}
+		if c.Gateway.Refresh <= 0 {
+			return fmt.Errorf("gateway.refresh: must be positive, got %v", c.Gateway.Refresh)
+		}
+		if c.Gateway.RateRPS <= 0 {
+			return fmt.Errorf("gateway.rate_rps: must be positive, got %v", c.Gateway.RateRPS)
+		}
+		if c.Gateway.Burst <= 0 {
+			return fmt.Errorf("gateway.burst: must be positive, got %d", c.Gateway.Burst)
+		}
+	}
+	return nil
+}
+
+// validateLimits mirrors the transport layer's Limits rules so a config
+// rejects at load time with a field path, not at listen time with a
+// transport error.
+func validateLimits(t TransportSection) error {
+	switch {
+	case t.KeepAlive < 0:
+		return fmt.Errorf("transport.keepalive: must not be negative, got %v", t.KeepAlive)
+	case t.KeepAlive > 0 && t.KeepAlive < time.Millisecond:
+		return fmt.Errorf("transport.keepalive: %v is below the 1ms minimum", t.KeepAlive)
+	case t.PushOnlyKeepAlive < 0:
+		return fmt.Errorf("transport.push_only_keepalive: must not be negative, got %v", t.PushOnlyKeepAlive)
+	case t.FirstFrameTimeout < 0:
+		return fmt.Errorf("transport.first_frame_timeout: must not be negative, got %v", t.FirstFrameTimeout)
+	}
+	keepAlive := t.KeepAlive
+	if keepAlive == 0 {
+		keepAlive = transport.DefaultKeepAlive
+	}
+	if t.PushOnlyKeepAlive > keepAlive {
+		return fmt.Errorf("transport.push_only_keepalive: %v exceeds the keep-alive budget %v", t.PushOnlyKeepAlive, keepAlive)
+	}
+	return nil
+}
+
+// validateHostPort checks a "host:port" address; empty is allowed
+// unless required (an optional plugin's empty address means disabled).
+func validateHostPort(path, addr string, required bool) error {
+	if addr == "" {
+		if required {
+			return fmt.Errorf("%s: must not be empty", path)
+		}
+		return nil
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("%s: malformed address %q (want host:port)", path, addr)
+	}
+	_ = host // an empty host binds every interface, which is the operator's call
+	if port == "" {
+		return fmt.Errorf("%s: malformed address %q (missing port)", path, addr)
+	}
+	return nil
+}
+
+// backendKnown reports whether the transport registry knows the name.
+func backendKnown(name string) bool {
+	for _, b := range transport.Backends() {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,313 @@
+package config
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadFileYAML loads a full YAML document and checks every section
+// lands, including values that differ from the defaults.
+func TestLoadFileYAML(t *testing.T) {
+	doc := `
+# psnode example configuration
+version: 1
+node:
+  listen: 127.0.0.1:7946
+  contacts: [127.0.0.1:7947, 127.0.0.1:7948]
+  protocol: (rand,rand,push)
+  view_size: 20
+  period: 250ms
+  diverse: true
+transport:
+  backend: udp
+  max_conns: 256
+  keepalive: 90s
+metrics:
+  addr: 127.0.0.1:9090
+  dump: /tmp/psnode.jsonl
+  report_interval: 2s
+control:
+  addr: 127.0.0.1:7070
+  ready_file: /tmp/ready.json
+gateway:
+  addr: 127.0.0.1:8080
+  batch_size: 128
+  refresh: 500ms
+  rate_rps: 2.5
+  burst: 4
+`
+	cfg := loadDoc(t, "psnode.yaml", doc)
+	if cfg.Node.Listen != "127.0.0.1:7946" {
+		t.Errorf("listen = %q", cfg.Node.Listen)
+	}
+	if len(cfg.Node.Contacts) != 2 || cfg.Node.Contacts[1] != "127.0.0.1:7948" {
+		t.Errorf("contacts = %v", cfg.Node.Contacts)
+	}
+	if cfg.Node.Protocol != "(rand,rand,push)" || cfg.Node.ViewSize != 20 {
+		t.Errorf("protocol/view = %q/%d", cfg.Node.Protocol, cfg.Node.ViewSize)
+	}
+	if cfg.Node.Period != 250*time.Millisecond || !cfg.Node.Diverse {
+		t.Errorf("period/diverse = %v/%v", cfg.Node.Period, cfg.Node.Diverse)
+	}
+	if cfg.Transport.Backend != "udp" || cfg.Transport.MaxConns != 256 || cfg.Transport.KeepAlive != 90*time.Second {
+		t.Errorf("transport = %+v", cfg.Transport)
+	}
+	if cfg.Metrics.Addr != "127.0.0.1:9090" || cfg.Metrics.Dump != "/tmp/psnode.jsonl" || cfg.Metrics.ReportInterval != 2*time.Second {
+		t.Errorf("metrics = %+v", cfg.Metrics)
+	}
+	if cfg.Control.Addr != "127.0.0.1:7070" || cfg.Control.ReadyFile != "/tmp/ready.json" {
+		t.Errorf("control = %+v", cfg.Control)
+	}
+	if cfg.Gateway.Addr != "127.0.0.1:8080" || cfg.Gateway.BatchSize != 128 ||
+		cfg.Gateway.Refresh != 500*time.Millisecond || cfg.Gateway.RateRPS != 2.5 || cfg.Gateway.Burst != 4 {
+		t.Errorf("gateway = %+v", cfg.Gateway)
+	}
+}
+
+// TestLoadFileDefaulting checks that a minimal file keeps every default
+// for the sections it does not mention.
+func TestLoadFileDefaulting(t *testing.T) {
+	cfg := loadDoc(t, "min.yaml", "node:\n  listen: 127.0.0.1:7946\n")
+	def := Default()
+	if cfg.Node.Protocol != def.Node.Protocol || cfg.Node.ViewSize != def.Node.ViewSize || cfg.Node.Period != def.Node.Period {
+		t.Errorf("node defaults lost: %+v", cfg.Node)
+	}
+	if cfg.Transport.Backend != def.Transport.Backend {
+		t.Errorf("backend default lost: %q", cfg.Transport.Backend)
+	}
+	if cfg.Metrics.ReportInterval != def.Metrics.ReportInterval {
+		t.Errorf("report interval default lost: %v", cfg.Metrics.ReportInterval)
+	}
+	if cfg.GatewayEnabled() {
+		t.Error("gateway enabled without an address")
+	}
+	if cfg.Gateway.BatchSize != def.Gateway.BatchSize {
+		t.Errorf("gateway defaults lost: %+v", cfg.Gateway)
+	}
+}
+
+// TestLoadRejections is the table of every rejected document: bad
+// syntax, bad types, unknown fields, and each validation rule, with the
+// field path the error must carry.
+func TestLoadRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"bad version", "version: 2\n", "version: config schema version 2"},
+		{"version not a number", "version: next\n", "version: want an integer"},
+		{"unknown top-level field", "nodes:\n  listen: 127.0.0.1:1\n", "nodes: unknown field"},
+		{"unknown nested field", "node:\n  listn: 127.0.0.1:1\n", "node.listn: unknown field"},
+		{"empty listen", "node:\n  listen: \"\"\n", "node.listen: must not be empty"},
+		{"malformed listen", "node:\n  listen: 127.0.0.1\n", "node.listen: malformed address"},
+		{"bad protocol", "node:\n  protocol: (rand,head)\n", "node.protocol:"},
+		{"zero view size", "node:\n  view_size: 0\n", "node.view_size: must be positive"},
+		{"negative view size", "node:\n  view_size: -3\n", "node.view_size: must be positive"},
+		{"view size not integer", "node:\n  view_size: many\n", "node.view_size: want an integer"},
+		{"zero period", "node:\n  period: 0s\n", "node.period: must be positive"},
+		{"negative period", "node:\n  period: -1s\n", "node.period: must be positive"},
+		{"bare number period", "node:\n  period: 5\n", "node.period: want a duration string"},
+		{"malformed period", "node:\n  period: soon\n", "node.period: malformed duration"},
+		{"empty contact", "node:\n  contacts: [\" \"]\n", "node.contacts[0]: empty contact"},
+		{"contact not string", "node:\n  contacts: [42]\n", "node.contacts[0]: want a string"},
+		{"bad backend", "transport:\n  backend: carrier-pigeon\n", `transport.backend: unknown backend "carrier-pigeon"`},
+		{"negative keepalive", "transport:\n  keepalive: -1s\n", "transport.keepalive: must not be negative"},
+		{"sub-ms keepalive", "transport:\n  keepalive: 10us\n", "transport.keepalive: 10µs is below the 1ms minimum"},
+		{"push-only above keepalive", "transport:\n  keepalive: 10s\n  push_only_keepalive: 20s\n",
+			"transport.push_only_keepalive: 20s exceeds"},
+		{"malformed metrics addr", "metrics:\n  addr: localhost\n", "metrics.addr: malformed address"},
+		{"zero report interval", "metrics:\n  report_interval: 0s\n", "metrics.report_interval: must be positive"},
+		{"malformed control addr", "control:\n  addr: \"::1:x:\"\n", "control.addr: malformed address"},
+		{"malformed gateway addr", "gateway:\n  addr: not-an-addr\n", "gateway.addr: malformed address"},
+		{"zero gateway batch", "gateway:\n  addr: 127.0.0.1:8080\n  batch_size: 0\n", "gateway.batch_size: must be positive"},
+		{"zero gateway refresh", "gateway:\n  addr: 127.0.0.1:8080\n  refresh: 0s\n", "gateway.refresh: must be positive"},
+		{"zero gateway rate", "gateway:\n  addr: 127.0.0.1:8080\n  rate_rps: 0\n", "gateway.rate_rps: must be positive"},
+		{"negative gateway burst", "gateway:\n  addr: 127.0.0.1:8080\n  burst: -1\n", "gateway.burst: must be positive"},
+		{"section not a mapping", "node: 42\n", "node: want a mapping"},
+		{"tab indentation", "node:\n\tlisten: 127.0.0.1:1\n", "tab in indentation"},
+		{"duplicate key", "node:\n  listen: 127.0.0.1:1\n  listen: 127.0.0.1:2\n", "duplicate key"},
+		{"string where bool", "node:\n  diverse: yes-please\n", "node.diverse: want true or false"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc), false)
+			if err == nil {
+				t.Fatalf("document accepted:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadFileJSON checks the JSON path shares the decoder: same
+// strictness, same field paths.
+func TestLoadFileJSON(t *testing.T) {
+	cfg := loadDoc(t, "psnode.json",
+		`{"node": {"listen": "127.0.0.1:7946", "period": "100ms"}, "gateway": {"addr": "127.0.0.1:8080"}}`)
+	if cfg.Node.Period != 100*time.Millisecond || cfg.Gateway.Addr != "127.0.0.1:8080" {
+		t.Errorf("json config = %+v", cfg)
+	}
+	if _, err := Parse([]byte(`{"node": {"view_size": 0}}`), true); err == nil ||
+		!strings.Contains(err.Error(), "node.view_size: must be positive") {
+		t.Errorf("json validation error = %v", err)
+	}
+	if _, err := Parse([]byte(`{"node": {"listn": "x"}}`), true); err == nil ||
+		!strings.Contains(err.Error(), "node.listn: unknown field") {
+		t.Errorf("json unknown-field error = %v", err)
+	}
+}
+
+// TestWriteFileRoundTrip checks the generated-file path the subprocess
+// fleet driver uses: WriteFile output must load back identical.
+func TestWriteFileRoundTrip(t *testing.T) {
+	cfg := Default()
+	cfg.Node.Listen = "127.0.0.1:7946"
+	cfg.Node.Contacts = []string{"127.0.0.1:7947"}
+	cfg.Node.Period = 20 * time.Millisecond
+	cfg.Transport.Backend = "tcp"
+	cfg.Transport.MaxConns = 99
+	cfg.Transport.KeepAlive = 45 * time.Second
+	cfg.Control.Addr = "127.0.0.1:0"
+	cfg.Control.ReadyFile = "/tmp/ready.json"
+	cfg.Gateway.Addr = "127.0.0.1:0"
+	cfg.Gateway.RateRPS = 1.5
+
+	path := filepath.Join(t.TempDir(), "gen.json")
+	if err := WriteFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Node.Contacts) != 1 || back.Node.Contacts[0] != "127.0.0.1:7947" {
+		t.Errorf("contacts = %v", back.Node.Contacts)
+	}
+	back.Node.Contacts, cfg.Node.Contacts = nil, nil // compared above
+	if !reflect.DeepEqual(back, cfg) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", back, cfg)
+	}
+}
+
+// TestDiffClassification pins the hot-vs-restart contract: the exact
+// classification internal/daemon relies on when applying SIGHUP.
+func TestDiffClassification(t *testing.T) {
+	base := Default()
+	base.Gateway.Addr = "127.0.0.1:8080"
+
+	hot := base
+	hot.Transport.MaxConns = 17
+	hot.Transport.KeepAlive = 30 * time.Second
+	hot.Metrics.ReportInterval = 9 * time.Second
+	hot.Gateway.RateRPS = 100
+	hot.Gateway.Burst = 200
+	hot.Node.Contacts = []string{"127.0.0.1:7947"}
+	d := Diff(base, hot)
+	if len(d.Restart) != 0 {
+		t.Errorf("hot-only change classified restart: %v", d.Restart)
+	}
+	wantHot := []string{"node.contacts", "transport.max_conns", "transport.keepalive",
+		"metrics.report_interval", "gateway.rate_rps", "gateway.burst"}
+	for _, path := range wantHot {
+		if !contains(d.Hot, path) {
+			t.Errorf("hot diff missing %s: %v", path, d.Hot)
+		}
+	}
+
+	restart := base
+	restart.Node.Listen = "127.0.0.1:7999"
+	restart.Node.Protocol = "(tail,head,pull)"
+	restart.Node.ViewSize = 11
+	restart.Transport.Backend = "udp"
+	restart.Metrics.Addr = "127.0.0.1:9999"
+	restart.Gateway.Addr = "127.0.0.1:8888"
+	d = Diff(base, restart)
+	if len(d.Hot) != 0 {
+		t.Errorf("restart-only change classified hot: %v", d.Hot)
+	}
+	for _, path := range []string{"node.listen", "node.protocol", "node.view_size",
+		"transport.backend", "metrics.addr", "gateway.addr"} {
+		if !contains(d.Restart, path) {
+			t.Errorf("restart diff missing %s: %v", path, d.Restart)
+		}
+	}
+
+	if d := Diff(base, base); !d.Empty() {
+		t.Errorf("identical configs diff non-empty: %+v", d)
+	}
+}
+
+// TestMergeHot checks the applied-config bookkeeping after a live
+// reload: hot fields move, restart fields stay.
+func TestMergeHot(t *testing.T) {
+	old := Default()
+	new := Default()
+	new.Node.Listen = "127.0.0.1:7999" // restart-required: must not move
+	new.Transport.MaxConns = 3         // hot: must move
+	new.Metrics.ReportInterval = 42 * time.Second
+	merged := MergeHot(old, new)
+	if merged.Node.Listen != old.Node.Listen {
+		t.Errorf("restart field leaked through MergeHot: %q", merged.Node.Listen)
+	}
+	if merged.Transport.MaxConns != 3 || merged.Metrics.ReportInterval != 42*time.Second {
+		t.Errorf("hot fields not merged: %+v", merged)
+	}
+}
+
+// TestFromFlagsOverlay checks flags only override when actually set.
+func TestFromFlagsOverlay(t *testing.T) {
+	fs := flag.NewFlagSet("psnode", flag.ContinueOnError)
+	f := FromFlags(fs)
+	if err := fs.Parse([]string{"-c", "50", "-contacts", "127.0.0.1:7947, 127.0.0.1:7948,", "-gateway-addr", "127.0.0.1:8080"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.Node.Listen = "127.0.0.1:7946" // from a config file
+	cfg.Node.ViewSize = 20             // from a config file; flag must win
+	f.Apply(&cfg)
+	if cfg.Node.ViewSize != 50 {
+		t.Errorf("set flag did not override: view size %d", cfg.Node.ViewSize)
+	}
+	if cfg.Node.Listen != "127.0.0.1:7946" {
+		t.Errorf("unset flag overrode file value: listen %q", cfg.Node.Listen)
+	}
+	if len(cfg.Node.Contacts) != 2 || cfg.Node.Contacts[1] != "127.0.0.1:7948" {
+		t.Errorf("contacts overlay = %v", cfg.Node.Contacts)
+	}
+	if cfg.Gateway.Addr != "127.0.0.1:8080" {
+		t.Errorf("gateway addr overlay = %q", cfg.Gateway.Addr)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("overlaid config invalid: %v", err)
+	}
+}
+
+func loadDoc(t *testing.T, name, doc string) Config {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,464 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LoadFile loads, defaults and validates a config file. The format
+// follows the extension: ".json" parses as JSON, anything else as the
+// package's YAML subset. Fields absent from the file keep their
+// Default() values; unknown fields and type mismatches are errors with
+// the file name and field path attached.
+func LoadFile(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	cfg, err := Parse(raw, strings.EqualFold(filepath.Ext(path), ".json"))
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Parse decodes one config document (YAML subset, or JSON when asJSON
+// is set) over the defaults and validates the result.
+func Parse(raw []byte, asJSON bool) (Config, error) {
+	var doc map[string]any
+	var err error
+	if asJSON {
+		doc, err = parseJSON(raw)
+	} else {
+		doc, err = parseYAML(raw)
+	}
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Default()
+	if err := decodeDocument(doc, &cfg); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// parseJSON parses a JSON document into the same map shape parseYAML
+// produces, keeping integers exact via json.Number.
+func parseJSON(raw []byte) (map[string]any, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var doc map[string]any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("malformed JSON: %w", err)
+	}
+	return doc, nil
+}
+
+// decodeDocument maps the parsed document onto cfg, strictly: a key the
+// schema does not define is an error naming its path, so a typo never
+// silently configures nothing.
+func decodeDocument(doc map[string]any, cfg *Config) error {
+	root := newSection("", doc)
+	if err := root.integer("version", &cfg.Version); err != nil {
+		return err
+	}
+	if node := root.sub("node"); node != nil {
+		if err := decodeNode(node, &cfg.Node); err != nil {
+			return err
+		}
+	}
+	if tr := root.sub("transport"); tr != nil {
+		if err := decodeTransport(tr, &cfg.Transport); err != nil {
+			return err
+		}
+	}
+	if m := root.sub("metrics"); m != nil {
+		if err := decodeMetrics(m, &cfg.Metrics); err != nil {
+			return err
+		}
+	}
+	if ctl := root.sub("control"); ctl != nil {
+		if err := decodeControl(ctl, &cfg.Control); err != nil {
+			return err
+		}
+	}
+	if gw := root.sub("gateway"); gw != nil {
+		if err := decodeGateway(gw, &cfg.Gateway); err != nil {
+			return err
+		}
+	}
+	return root.finishAll()
+}
+
+func decodeNode(s *section, n *NodeSection) error {
+	return firstErr(
+		s.str("listen", &n.Listen),
+		s.strList("contacts", &n.Contacts),
+		s.str("protocol", &n.Protocol),
+		s.integer("view_size", &n.ViewSize),
+		s.duration("period", &n.Period),
+		s.boolean("diverse", &n.Diverse),
+	)
+}
+
+func decodeTransport(s *section, t *TransportSection) error {
+	return firstErr(
+		s.str("backend", &t.Backend),
+		s.integer("max_conns", &t.MaxConns),
+		s.duration("keepalive", &t.KeepAlive),
+		s.duration("push_only_keepalive", &t.PushOnlyKeepAlive),
+		s.duration("first_frame_timeout", &t.FirstFrameTimeout),
+	)
+}
+
+func decodeMetrics(s *section, m *MetricsSection) error {
+	return firstErr(
+		s.str("addr", &m.Addr),
+		s.str("dump", &m.Dump),
+		s.duration("report_interval", &m.ReportInterval),
+	)
+}
+
+func decodeControl(s *section, c *ControlSection) error {
+	return firstErr(
+		s.str("addr", &c.Addr),
+		s.str("ready_file", &c.ReadyFile),
+	)
+}
+
+func decodeGateway(s *section, g *GatewaySection) error {
+	return firstErr(
+		s.str("addr", &g.Addr),
+		s.integer("batch_size", &g.BatchSize),
+		s.duration("refresh", &g.Refresh),
+		s.float("rate_rps", &g.RateRPS),
+		s.integer("burst", &g.Burst),
+	)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// section reads typed values out of one mapping of the parsed document,
+// tracking which keys were consumed so leftovers can be rejected. Every
+// error carries the dotted field path.
+type section struct {
+	path     string
+	m        map[string]any
+	used     map[string]bool
+	children []*section
+	// typeErr poisons a section whose document value was not a mapping;
+	// every read reports it instead of inventing field-level errors.
+	typeErr error
+}
+
+func newSection(path string, m map[string]any) *section {
+	return &section{path: path, m: m, used: map[string]bool{}}
+}
+
+// key joins the section path and a field name into the error path.
+func (s *section) key(name string) string {
+	if s.path == "" {
+		return name
+	}
+	return s.path + "." + name
+}
+
+// take consumes a key, returning (nil, false) when absent or null so
+// the default survives.
+func (s *section) take(name string) (any, bool) {
+	v, ok := s.m[name]
+	if !ok {
+		return nil, false
+	}
+	s.used[name] = true
+	if v == nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// sub returns the nested mapping under name, or nil when absent. The
+// child is remembered so finishAll sweeps it for unknown keys too.
+func (s *section) sub(name string) *section {
+	v, ok := s.take(name)
+	if !ok {
+		return nil
+	}
+	m, isMap := v.(map[string]any)
+	if !isMap {
+		// Returning a poisoned child keeps call sites uniform; the type
+		// error surfaces from the first field read.
+		m = map[string]any{}
+	}
+	child := newSection(s.key(name), m)
+	if !isMap {
+		child.typeErr = fmt.Errorf("%s: want a mapping, got %s", s.key(name), typeName(v))
+	}
+	s.children = append(s.children, child)
+	return child
+}
+
+func (s *section) str(name string, dst *string) error {
+	if s.typeErr != nil {
+		return s.typeErr
+	}
+	v, ok := s.take(name)
+	if !ok {
+		return nil
+	}
+	str, isStr := v.(string)
+	if !isStr {
+		return fmt.Errorf("%s: want a string, got %s", s.key(name), typeName(v))
+	}
+	*dst = str
+	return nil
+}
+
+func (s *section) strList(name string, dst *[]string) error {
+	if s.typeErr != nil {
+		return s.typeErr
+	}
+	v, ok := s.take(name)
+	if !ok {
+		return nil
+	}
+	seq, isSeq := v.([]any)
+	if !isSeq {
+		// A single bare string is accepted as a one-element list: the
+		// common "contacts: host:port" case should not need brackets.
+		if str, isStr := v.(string); isStr {
+			*dst = []string{str}
+			return nil
+		}
+		return fmt.Errorf("%s: want a list of strings, got %s", s.key(name), typeName(v))
+	}
+	out := make([]string, len(seq))
+	for i, item := range seq {
+		str, isStr := item.(string)
+		if !isStr {
+			return fmt.Errorf("%s[%d]: want a string, got %s", s.key(name), i, typeName(item))
+		}
+		out[i] = str
+	}
+	*dst = out
+	return nil
+}
+
+func (s *section) integer(name string, dst *int) error {
+	if s.typeErr != nil {
+		return s.typeErr
+	}
+	v, ok := s.take(name)
+	if !ok {
+		return nil
+	}
+	n, err := asInt64(v)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.key(name), err)
+	}
+	*dst = int(n)
+	return nil
+}
+
+func (s *section) float(name string, dst *float64) error {
+	if s.typeErr != nil {
+		return s.typeErr
+	}
+	v, ok := s.take(name)
+	if !ok {
+		return nil
+	}
+	switch n := v.(type) {
+	case int64:
+		*dst = float64(n)
+	case float64:
+		*dst = n
+	case json.Number:
+		f, err := n.Float64()
+		if err != nil {
+			return fmt.Errorf("%s: want a number, got %q", s.key(name), n.String())
+		}
+		*dst = f
+	default:
+		return fmt.Errorf("%s: want a number, got %s", s.key(name), typeName(v))
+	}
+	return nil
+}
+
+func (s *section) boolean(name string, dst *bool) error {
+	if s.typeErr != nil {
+		return s.typeErr
+	}
+	v, ok := s.take(name)
+	if !ok {
+		return nil
+	}
+	b, isBool := v.(bool)
+	if !isBool {
+		return fmt.Errorf("%s: want true or false, got %s", s.key(name), typeName(v))
+	}
+	*dst = b
+	return nil
+}
+
+// duration reads a Go duration string ("90s", "1m30s"). Bare numbers
+// are rejected: "period: 5" is ambiguous between seconds and
+// nanoseconds, and guessing either would misconfigure someone.
+func (s *section) duration(name string, dst *time.Duration) error {
+	if s.typeErr != nil {
+		return s.typeErr
+	}
+	v, ok := s.take(name)
+	if !ok {
+		return nil
+	}
+	str, isStr := v.(string)
+	if !isStr {
+		return fmt.Errorf("%s: want a duration string like \"250ms\" or \"1m\", got %s", s.key(name), typeName(v))
+	}
+	d, err := time.ParseDuration(str)
+	if err != nil {
+		return fmt.Errorf("%s: malformed duration %q", s.key(name), str)
+	}
+	*dst = d
+	return nil
+}
+
+// finishAll errors on any key in this section or its children that no
+// field consumed.
+func (s *section) finishAll() error {
+	if s.typeErr != nil {
+		return s.typeErr
+	}
+	var unknown []string
+	for k := range s.m {
+		if !s.used[k] {
+			unknown = append(unknown, s.key(k))
+		}
+	}
+	for _, child := range s.children {
+		if err := child.finishAll(); err != nil {
+			return err
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("%s: unknown field", unknown[0])
+	}
+	return nil
+}
+
+// asInt64 accepts the integer shapes the two parsers produce.
+func asInt64(v any) (int64, error) {
+	switch n := v.(type) {
+	case int64:
+		return n, nil
+	case float64:
+		if n == float64(int64(n)) {
+			return int64(n), nil
+		}
+		return 0, fmt.Errorf("want an integer, got %v", n)
+	case json.Number:
+		i, err := n.Int64()
+		if err != nil {
+			return 0, fmt.Errorf("want an integer, got %q", n.String())
+		}
+		return i, nil
+	default:
+		return 0, fmt.Errorf("want an integer, got %s", typeName(v))
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case string:
+		return "a string"
+	case bool:
+		return "a boolean"
+	case int64, float64, json.Number:
+		return "a number"
+	case []any:
+		return "a list"
+	case map[string]any:
+		return "a mapping"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// WriteFile writes cfg as a JSON config document at path — the exact
+// document LoadFile round-trips. The subprocess fleet driver uses this
+// to hand each forked psnode one file instead of a flag list.
+func WriteFile(path string, cfg Config) error {
+	raw, err := json.MarshalIndent(encode(cfg), "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: encode: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// encode renders cfg into the document shape the decoder accepts, with
+// durations as strings. Every field is emitted, defaults included: a
+// generated file should read as the daemon's complete effective
+// configuration, not a diff against defaults the reader must know.
+func encode(cfg Config) map[string]any {
+	contacts := cfg.Node.Contacts
+	if contacts == nil {
+		contacts = []string{}
+	}
+	return map[string]any{
+		"version": cfg.Version,
+		"node": map[string]any{
+			"listen":    cfg.Node.Listen,
+			"contacts":  contacts,
+			"protocol":  cfg.Node.Protocol,
+			"view_size": cfg.Node.ViewSize,
+			"period":    cfg.Node.Period.String(),
+			"diverse":   cfg.Node.Diverse,
+		},
+		"transport": map[string]any{
+			"backend":             cfg.Transport.Backend,
+			"max_conns":           cfg.Transport.MaxConns,
+			"keepalive":           cfg.Transport.KeepAlive.String(),
+			"push_only_keepalive": cfg.Transport.PushOnlyKeepAlive.String(),
+			"first_frame_timeout": cfg.Transport.FirstFrameTimeout.String(),
+		},
+		"metrics": map[string]any{
+			"addr":            cfg.Metrics.Addr,
+			"dump":            cfg.Metrics.Dump,
+			"report_interval": cfg.Metrics.ReportInterval.String(),
+		},
+		"control": map[string]any{
+			"addr":       cfg.Control.Addr,
+			"ready_file": cfg.Control.ReadyFile,
+		},
+		"gateway": map[string]any{
+			"addr":       cfg.Gateway.Addr,
+			"batch_size": cfg.Gateway.BatchSize,
+			"refresh":    cfg.Gateway.Refresh.String(),
+			"rate_rps":   cfg.Gateway.RateRPS,
+			"burst":      cfg.Gateway.Burst,
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package config
+
+import "slices"
+
+// ReloadDiff classifies the fields that changed between a running
+// daemon's config and a freshly loaded one. Hot fields may be applied
+// to the live daemon (internal/daemon does so on SIGHUP); Restart
+// fields describe a different daemon and require a process restart to
+// take effect.
+type ReloadDiff struct {
+	// Hot lists changed field paths the daemon can apply live.
+	Hot []string
+	// Restart lists changed field paths that need a restart.
+	Restart []string
+}
+
+// Empty reports whether nothing changed.
+func (d ReloadDiff) Empty() bool { return len(d.Hot) == 0 && len(d.Restart) == 0 }
+
+// Diff compares two configs field by field. The hot set is exactly the
+// fields the daemon knows how to apply without recreating the node or
+// rebinding a listener: transport hardening limits, the report
+// interval, gateway tuning, and added bootstrap contacts (Init merges
+// them into the live view).
+func Diff(old, new Config) ReloadDiff {
+	var d ReloadDiff
+	changed := func(path string, hot bool, differs bool) {
+		if !differs {
+			return
+		}
+		if hot {
+			d.Hot = append(d.Hot, path)
+		} else {
+			d.Restart = append(d.Restart, path)
+		}
+	}
+
+	changed("version", false, old.Version != new.Version)
+
+	changed("node.listen", false, old.Node.Listen != new.Node.Listen)
+	changed("node.contacts", true, !slices.Equal(old.Node.Contacts, new.Node.Contacts))
+	changed("node.protocol", false, old.Node.Protocol != new.Node.Protocol)
+	changed("node.view_size", false, old.Node.ViewSize != new.Node.ViewSize)
+	changed("node.period", false, old.Node.Period != new.Node.Period)
+	changed("node.diverse", false, old.Node.Diverse != new.Node.Diverse)
+
+	changed("transport.backend", false, old.Transport.Backend != new.Transport.Backend)
+	changed("transport.max_conns", true, old.Transport.MaxConns != new.Transport.MaxConns)
+	changed("transport.keepalive", true, old.Transport.KeepAlive != new.Transport.KeepAlive)
+	changed("transport.push_only_keepalive", true, old.Transport.PushOnlyKeepAlive != new.Transport.PushOnlyKeepAlive)
+	changed("transport.first_frame_timeout", true, old.Transport.FirstFrameTimeout != new.Transport.FirstFrameTimeout)
+
+	changed("metrics.addr", false, old.Metrics.Addr != new.Metrics.Addr)
+	changed("metrics.dump", false, old.Metrics.Dump != new.Metrics.Dump)
+	changed("metrics.report_interval", true, old.Metrics.ReportInterval != new.Metrics.ReportInterval)
+
+	changed("control.addr", false, old.Control.Addr != new.Control.Addr)
+	changed("control.ready_file", false, old.Control.ReadyFile != new.Control.ReadyFile)
+
+	changed("gateway.addr", false, old.Gateway.Addr != new.Gateway.Addr)
+	changed("gateway.batch_size", true, old.Gateway.BatchSize != new.Gateway.BatchSize)
+	changed("gateway.refresh", true, old.Gateway.Refresh != new.Gateway.Refresh)
+	changed("gateway.rate_rps", true, old.Gateway.RateRPS != new.Gateway.RateRPS)
+	changed("gateway.burst", true, old.Gateway.Burst != new.Gateway.Burst)
+
+	return d
+}
+
+// MergeHot copies the hot-applicable fields of new onto old, returning
+// the config a daemon actually runs after a live reload: hot fields
+// from the new file, everything restart-required kept as-is. Keeping
+// the merge here, next to Diff's classification, means the two can
+// never disagree about which fields are hot.
+func MergeHot(old, new Config) Config {
+	merged := old
+	merged.Node.Contacts = new.Node.Contacts
+	merged.Transport.MaxConns = new.Transport.MaxConns
+	merged.Transport.KeepAlive = new.Transport.KeepAlive
+	merged.Transport.PushOnlyKeepAlive = new.Transport.PushOnlyKeepAlive
+	merged.Transport.FirstFrameTimeout = new.Transport.FirstFrameTimeout
+	merged.Metrics.ReportInterval = new.Metrics.ReportInterval
+	merged.Gateway.BatchSize = new.Gateway.BatchSize
+	merged.Gateway.Refresh = new.Gateway.Refresh
+	merged.Gateway.RateRPS = new.Gateway.RateRPS
+	merged.Gateway.Burst = new.Gateway.Burst
+	return merged
+}

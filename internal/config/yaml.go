@@ -1,0 +1,295 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseYAML parses the YAML subset this package speaks into nested
+// map[string]any / []any / scalar values. Supported: mappings nested by
+// indentation (spaces only), sequences as "- item" lines or inline
+// [a, b] flows, double- and single-quoted strings, booleans, integers,
+// floats, null, and "#" comments. Unsupported YAML (anchors, multi-line
+// scalars, tabs, flow mappings) fails loudly with a line number instead
+// of being half-read.
+func parseYAML(data []byte) (map[string]any, error) {
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	doc, next, err := parseBlock(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("line %d: unexpected indentation", lines[next].num)
+	}
+	if doc == nil {
+		return map[string]any{}, nil
+	}
+	m, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("line %d: top level must be a mapping", lines[0].num)
+	}
+	return m, nil
+}
+
+// yamlLine is one content-bearing line: its 1-based source line number,
+// indentation depth in spaces, and text with indentation and comments
+// stripped.
+type yamlLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+// splitYAMLLines strips comments and blank lines, measures indentation
+// and rejects tabs (YAML forbids them in indentation, and accepting
+// them silently misnests blocks).
+func splitYAMLLines(doc string) ([]yamlLine, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(doc, "\n") {
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range text {
+			if r == '\t' {
+				return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", i+1)
+			}
+			if r != ' ' {
+				break
+			}
+			indent++
+		}
+		lines = append(lines, yamlLine{num: i + 1, indent: indent, text: trimmed})
+	}
+	return lines, nil
+}
+
+// stripComment removes a trailing "# ..." comment, honouring quotes so
+// an address like "host#port" inside a string survives.
+func stripComment(s string) string {
+	inDouble, inSingle := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inDouble {
+				i++ // skip the escaped character
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '#':
+			if !inDouble && !inSingle && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly the given indentation,
+// returning the parsed value and the index of the first line it did not
+// consume. A block is either a mapping ("key: ..." lines) or a sequence
+// ("- ..." lines); mixing the two at one level is an error.
+func parseBlock(lines []yamlLine, start, indent int) (any, int, error) {
+	if start >= len(lines) || lines[start].indent < indent {
+		return nil, start, nil
+	}
+	if lines[start].indent > indent {
+		return nil, start, fmt.Errorf("line %d: unexpected indentation", lines[start].num)
+	}
+	if strings.HasPrefix(lines[start].text, "- ") || lines[start].text == "-" {
+		return parseSequence(lines, start, indent)
+	}
+	return parseMapping(lines, start, indent)
+}
+
+func parseSequence(lines []yamlLine, start, indent int) (any, int, error) {
+	var seq []any
+	i := start
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, i, fmt.Errorf("line %d: expected a \"- \" sequence item", ln.num)
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if item == "" {
+			return nil, i, fmt.Errorf("line %d: empty sequence item (nested blocks under \"-\" are not supported)", ln.num)
+		}
+		v, err := parseScalar(item, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		seq = append(seq, v)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return seq, i, nil
+}
+
+func parseMapping(lines []yamlLine, start, indent int) (any, int, error) {
+	m := map[string]any{}
+	i := start
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		if rest != "" {
+			v, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i++
+			continue
+		}
+		// "key:" with nothing after it — a nested block (or null when the
+		// next line does not indent deeper).
+		i++
+		if i < len(lines) && lines[i].indent > indent {
+			v, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i = next
+			continue
+		}
+		m[key] = nil
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return m, i, nil
+}
+
+// splitKey splits "key: value" (or "key:") into its parts. Keys are
+// bare words; quoting keys is not part of the subset.
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	idx := strings.Index(ln.text, ":")
+	if idx <= 0 {
+		return "", "", fmt.Errorf("line %d: expected \"key: value\"", ln.num)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	rest = strings.TrimSpace(ln.text[idx+1:])
+	if strings.ContainsAny(key, " \"'[]{}") {
+		return "", "", fmt.Errorf("line %d: malformed key %q", ln.num, key)
+	}
+	return key, rest, nil
+}
+
+// parseScalar turns one YAML scalar (or inline [a, b] flow sequence)
+// into a Go value: bool, int64, float64, nil, string or []any.
+func parseScalar(s string, line int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "["):
+		return parseFlowSequence(s, line)
+	case strings.HasPrefix(s, "{"):
+		return nil, fmt.Errorf("line %d: flow mappings {…} are not supported", line)
+	case strings.HasPrefix(s, `"`):
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: malformed quoted string %s", line, s)
+		}
+		return unq, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("line %d: unterminated single-quoted string", line)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "null", "~":
+		return nil, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// parseFlowSequence parses an inline [a, b, "c"] sequence of scalars.
+func parseFlowSequence(s string, line int) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("line %d: unterminated [ sequence", line)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	seq := []any{}
+	if inner == "" {
+		return seq, nil
+	}
+	for _, part := range splitFlowItems(inner) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("line %d: empty item in [ sequence", line)
+		}
+		v, err := parseScalar(part, line)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// splitFlowItems splits a flow sequence body on commas outside quotes.
+func splitFlowItems(s string) []string {
+	var items []string
+	depth := 0
+	inDouble, inSingle := false, false
+	begin := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inDouble {
+				i++
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '[':
+			if !inDouble && !inSingle {
+				depth++
+			}
+		case ']':
+			if !inDouble && !inSingle {
+				depth--
+			}
+		case ',':
+			if !inDouble && !inSingle && depth == 0 {
+				items = append(items, s[begin:i])
+				begin = i + 1
+			}
+		}
+	}
+	return append(items, s[begin:])
+}

@@ -1,0 +1,77 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseYAMLSubset exercises the accepted grammar: nesting, the two
+// sequence forms, scalar typing, quoting, and comments.
+func TestParseYAMLSubset(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want map[string]any
+	}{
+		{"empty document", "\n# only a comment\n", map[string]any{}},
+		{"flat scalars", "a: 1\nb: hi\nc: true\nd: 2.5\ne: null\nf: ~\n",
+			map[string]any{"a": int64(1), "b": "hi", "c": true, "d": 2.5, "e": nil, "f": nil}},
+		{"nested mapping", "outer:\n  inner:\n    leaf: 3\n",
+			map[string]any{"outer": map[string]any{"inner": map[string]any{"leaf": int64(3)}}}},
+		{"block sequence", "list:\n  - one\n  - two\n",
+			map[string]any{"list": []any{"one", "two"}}},
+		{"flow sequence", "list: [one, 2, true]\n",
+			map[string]any{"list": []any{"one", int64(2), true}}},
+		{"empty flow sequence", "list: []\n",
+			map[string]any{"list": []any{}}},
+		{"quoted scalars", `a: "x: y # not a comment"` + "\n" + `b: 'it''s'` + "\n",
+			map[string]any{"a": "x: y # not a comment", "b": "it's"}},
+		{"comments and blanks", "a: 1 # trailing\n\n# full line\nb: 2\n",
+			map[string]any{"a": int64(1), "b": int64(2)}},
+		{"empty value is null", "a:\nb: 1\n",
+			map[string]any{"a": nil, "b": int64(1)}},
+		{"address-like bare scalar", "addr: 127.0.0.1:8080\n",
+			map[string]any{"addr": "127.0.0.1:8080"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseYAML([]byte(tc.doc))
+			if err != nil {
+				t.Fatalf("parseYAML: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("got %#v\nwant %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseYAMLErrors pins the rejection messages, each carrying the
+// offending line number.
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"tab indentation", "a:\n\tb: 1\n", "line 2: tab in indentation"},
+		{"duplicate key", "a: 1\na: 2\n", "line 2: duplicate key \"a\""},
+		{"missing colon", "just a value\n", "line 1"},
+		{"unexpected indent", "a: 1\n    b: 2\n", "line 2: unexpected indentation"},
+		{"mixed mapping and sequence", "a:\n  - one\n  key: 2\n", "line 3"},
+		{"unterminated quote", "a: \"oops\n", "line 1"},
+		{"unterminated flow", "a: [1, 2\n", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("document accepted:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

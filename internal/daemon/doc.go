@@ -1,0 +1,16 @@
+// Package daemon is the runtime behind cmd/psnode: a Manager that owns
+// one sampling node and wires the service surface around it as discrete
+// plugins — the Prometheus metrics server, the periodic CSV/JSONL
+// dumper, the periodic report logger, the fleet control agent, and the
+// light-client sampling gateway. Each plugin has a Start/Stop lifecycle
+// and a Status, and the manager aggregates every status into one report
+// served on the control agent's and gateway's /healthz endpoints.
+//
+// The manager is built from an internal/config Config and supports live
+// reload: Reload diffs the running config against a freshly loaded one
+// (config.Diff), applies the hot-classified fields in place — transport
+// hardening limits onto the live listener, report pacing onto the
+// dumper and reporter, tuning onto the gateway, added contacts into the
+// view — and reports the restart-required remainder for the operator to
+// act on. cmd/psnode triggers Reload from SIGHUP.
+package daemon

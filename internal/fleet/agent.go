@@ -48,6 +48,9 @@ type Agent struct {
 	ln   net.Listener
 	srv  *http.Server
 
+	mu     sync.Mutex
+	status func() any
+
 	stopOnce sync.Once
 	stop     func()
 }
@@ -97,6 +100,16 @@ func (a *Agent) Addr() string { return a.ln.Addr().String() }
 // payload).
 func (a *Agent) Info() AgentInfo { return a.info }
 
+// SetStatus installs a callback whose result rides /healthz responses
+// under "daemon" — how the daemon manager exposes its aggregated plugin
+// report through the control port. Existing clients that decode only
+// AgentInfo are unaffected.
+func (a *Agent) SetStatus(fn func() any) {
+	a.mu.Lock()
+	a.status = fn
+	a.mu.Unlock()
+}
+
 // Close stops the agent's HTTP server. It does not stop the node.
 func (a *Agent) Close() error { return a.srv.Close() }
 
@@ -106,7 +119,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (a *Agent) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, a.info)
+	a.mu.Lock()
+	status := a.status
+	a.mu.Unlock()
+	if status == nil {
+		writeJSON(w, a.info)
+		return
+	}
+	writeJSON(w, struct {
+		AgentInfo
+		Daemon any `json:"daemon"`
+	}{a.info, status()})
 }
 
 func (a *Agent) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"peersampling/internal/core"
@@ -121,6 +122,55 @@ func New(driver string, cfg Config) (Cluster, error) {
 	default:
 		return nil, fmt.Errorf("fleet: unknown driver %q (available: %v)", driver, Drivers())
 	}
+}
+
+// spawnConcurrency bounds how many SpawnN members come up in flight at
+// once: enough to hide fork+ready latency, few enough that a wave of
+// dozens does not stampede the machine with simultaneous process starts.
+const spawnConcurrency = 8
+
+// SpawnN spawns n members concurrently, each bootstrapped from the same
+// contact list, and returns them in completion order. At most
+// spawnConcurrency spawns are in flight at a time. On failure the first
+// error is returned together with the members that did come up — they
+// remain in the cluster, so the usual remedy is Close.
+func SpawnN(c Cluster, n int, contacts []string) ([]Member, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var (
+		mu       sync.Mutex
+		members  []Member
+		firstErr error
+		wg       sync.WaitGroup
+		slots    = make(chan struct{}, spawnConcurrency)
+	)
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break // don't keep launching into a failing cluster
+		}
+		slots <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			m, err := c.Spawn(contacts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			members = append(members, m)
+		}()
+	}
+	wg.Wait()
+	return members, firstErr
 }
 
 // mix folds a member index into the cluster seed, giving unrelated

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"peersampling/internal/config"
 	"peersampling/internal/core"
 	"peersampling/internal/metrics"
 )
@@ -443,5 +444,88 @@ func TestSubprocessNeedsBinary(t *testing.T) {
 func TestUnknownDriver(t *testing.T) {
 	if _, err := New("container", Config{}); err == nil {
 		t.Error("unknown driver accepted")
+	}
+}
+
+// SpawnN boots a wave concurrently on the cheap driver: all members come
+// up, converge, and the degenerate and failure shapes behave.
+func TestSpawnNWaveInproc(t *testing.T) {
+	c, err := New(DriverInproc, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	first, err := c.Spawn(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := SpawnN(c, 4, []string{first.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 4 {
+		t.Fatalf("SpawnN returned %d members", len(wave))
+	}
+	names := map[string]bool{first.Name(): true}
+	for _, m := range wave {
+		if !m.Alive() {
+			t.Errorf("member %s spawned dead", m.Name())
+		}
+		if names[m.Name()] {
+			t.Errorf("duplicate member name %s", m.Name())
+		}
+		names[m.Name()] = true
+	}
+	waitComplete(t, append([]Member{first}, wave...), 30*time.Second)
+
+	if ms, err := SpawnN(c, 0, nil); ms != nil || err != nil {
+		t.Errorf("SpawnN(0) = %v, %v", ms, err)
+	}
+	c.Close()
+	if _, err := SpawnN(c, 3, nil); err == nil {
+		t.Error("SpawnN on a closed cluster succeeded")
+	}
+}
+
+// The subprocess driver provisions members from generated config files:
+// each member's directory keeps the complete config it booted from, and
+// the file round-trips through the config loader.
+func TestSpawnNSubprocessProvisionsConfigFiles(t *testing.T) {
+	bin := needPsnode(t)
+	cfg := testConfig()
+	cfg.Psnode = bin
+	cfg.Dir = t.TempDir()
+	c, err := New(DriverSubprocess, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	first, err := c.Spawn(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := SpawnN(c, 2, []string{first.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitComplete(t, append([]Member{first}, wave...), 30*time.Second)
+
+	for _, name := range []string{"node00", "node01", "node02"} {
+		path := filepath.Join(cfg.Dir, name, "config.json")
+		mc, err := config.LoadFile(path)
+		if err != nil {
+			t.Fatalf("member %s config does not round-trip: %v", name, err)
+		}
+		if mc.Node.ViewSize != cfg.ViewSize || mc.Transport.Backend != "tcp" {
+			t.Errorf("member %s config = %+v", name, mc.Node)
+		}
+		if mc.Control.Addr == "" || mc.Control.ReadyFile == "" {
+			t.Errorf("member %s config missing control surface: %+v", name, mc.Control)
+		}
+	}
+	if len(first.(*subprocessMember).info.Addr) == 0 {
+		t.Error("first member has no discovered address")
 	}
 }

@@ -6,11 +6,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
+	"peersampling/internal/config"
 	"peersampling/internal/metrics"
 	"peersampling/internal/transport"
 )
@@ -92,6 +91,33 @@ func (m *subprocessMember) markDead() bool {
 	return was
 }
 
+// memberConfig maps the cluster's node template onto a full daemon
+// config for one member: loopback ephemeral listener, control agent for
+// the parent to drive, ready file for address discovery. Zero template
+// fields keep the daemon defaults.
+func (c *subprocessCluster) memberConfig(contacts []string, readyPath string) config.Config {
+	nc := config.Default()
+	nc.Node.Listen = "127.0.0.1:0"
+	nc.Node.Protocol = c.cfg.Protocol.String()
+	nc.Node.Contacts = contacts
+	if c.cfg.ViewSize != 0 {
+		// Invalid values (negative) are written out too: the member's own
+		// config validation rejects them, exactly like a hand-edited file.
+		nc.Node.ViewSize = c.cfg.ViewSize
+	}
+	if c.cfg.Period > 0 {
+		nc.Node.Period = c.cfg.Period
+	}
+	nc.Transport.Backend = c.cfg.Backend
+	nc.Transport.MaxConns = c.cfg.Limits.MaxConns
+	nc.Transport.KeepAlive = c.cfg.Limits.KeepAlive
+	nc.Transport.PushOnlyKeepAlive = c.cfg.Limits.PushOnlyKeepAlive
+	nc.Transport.FirstFrameTimeout = c.cfg.Limits.FirstFrameTimeout
+	nc.Control.Addr = "127.0.0.1:0"
+	nc.Control.ReadyFile = readyPath
+	return nc
+}
+
 func (c *subprocessCluster) Spawn(contacts []string) (Member, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -114,27 +140,16 @@ func (c *subprocessCluster) Spawn(contacts []string) (Member, error) {
 		return nil, fmt.Errorf("fleet: member %s: %w", name, err)
 	}
 
-	args := []string{
-		"-listen", "127.0.0.1:0",
-		"-transport", c.cfg.Backend,
-		"-protocol", c.cfg.Protocol.String(),
-		"-c", strconv.Itoa(c.cfg.ViewSize),
-		"-control-addr", "127.0.0.1:0",
-		"-ready-file", readyPath,
+	// Members are provisioned like a real deployment: the full node
+	// configuration is written into the member's directory and psnode
+	// boots from the file alone, so the exact config every member ran
+	// with survives next to its log for post-mortems.
+	cfgPath := filepath.Join(memberDir, "config.json")
+	if err := config.WriteFile(cfgPath, c.memberConfig(contacts, readyPath)); err != nil {
+		logf.Close()
+		return nil, fmt.Errorf("fleet: member %s: %w", name, err)
 	}
-	if c.cfg.Period > 0 {
-		args = append(args, "-period", c.cfg.Period.String())
-	}
-	if len(contacts) > 0 {
-		args = append(args, "-contacts", strings.Join(contacts, ","))
-	}
-	if c.cfg.Limits.MaxConns != 0 {
-		args = append(args, "-max-conns", strconv.Itoa(c.cfg.Limits.MaxConns))
-	}
-	if c.cfg.Limits.KeepAlive != 0 {
-		args = append(args, "-keepalive", c.cfg.Limits.KeepAlive.String())
-	}
-	cmd := exec.Command(c.cfg.Psnode, args...)
+	cmd := exec.Command(c.cfg.Psnode, "-config", cfgPath)
 	cmd.Stdout = logf
 	cmd.Stderr = logf
 	if err := cmd.Start(); err != nil {
@@ -148,8 +163,13 @@ func (c *subprocessCluster) Spawn(contacts []string) (Member, error) {
 	}()
 
 	// Address discovery: wait for the daemon's atomically-written ready
-	// file instead of parsing its log or racing for ports.
-	deadline := time.Now().Add(c.cfg.SpawnTimeout)
+	// file instead of parsing its log or racing for ports. The poll backs
+	// off exponentially (1ms doubling to a 100ms cap): a healthy member is
+	// caught within milliseconds while a slow one costs ten polls a
+	// second, not a hundred.
+	start := time.Now()
+	deadline := start.Add(c.cfg.SpawnTimeout)
+	backoff := time.Millisecond
 	for {
 		info, err := ReadReady(readyPath)
 		if err == nil {
@@ -158,8 +178,8 @@ func (c *subprocessCluster) Spawn(contacts []string) (Member, error) {
 		}
 		select {
 		case <-m.exited:
-			err := fmt.Errorf("fleet: member %s exited before becoming ready; log tail:\n%s",
-				name, tailFile(logf.Name(), 2048))
+			err := fmt.Errorf("fleet: member %s exited before becoming ready (waited %v); log tail:\n%s",
+				name, time.Since(start).Round(time.Millisecond), tailFile(logf.Name(), 2048))
 			logf.Close()
 			return nil, err
 		default:
@@ -168,10 +188,13 @@ func (c *subprocessCluster) Spawn(contacts []string) (Member, error) {
 			_ = cmd.Process.Kill()
 			<-m.exited
 			logf.Close()
-			return nil, fmt.Errorf("fleet: member %s not ready within %v; log tail:\n%s",
-				name, c.cfg.SpawnTimeout, tailFile(logf.Name(), 2048))
+			return nil, fmt.Errorf("fleet: member %s not ready after %v (timeout %v); log tail:\n%s",
+				name, time.Since(start).Round(time.Millisecond), c.cfg.SpawnTimeout, tailFile(logf.Name(), 2048))
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
 	}
 	if m.info.ControlAddr == "" {
 		_ = cmd.Process.Kill()

@@ -1,0 +1,19 @@
+// Package gateway serves peer samples to light clients over HTTP — the
+// bridge between the gossip overlay's getPeer() API and applications
+// that want random peers without running the protocol themselves.
+//
+// GET /v1/sample?n=K returns K distinct live peer addresses as JSON,
+// drawn from a cached batch the gateway refreshes off its node's GetPeer
+// on a fixed interval. Serving from a cache keeps the request path off
+// the node's lock and makes the gateway's cost to the overlay constant
+// in request load. Each client IP is throttled by a token bucket
+// (Config.RateRPS, Config.Burst); requests past the limit get 429 with a
+// Retry-After, and requests finding an empty cache (a node that has not
+// bootstrapped yet) get 503. GET /healthz reports the gateway's own
+// state plus whatever status callback the daemon installs.
+//
+// Gateway counters flow into the metrics pipeline as a GatewaySnapshot
+// riding a NodeSnapshot (see Gateway.Snapshot and
+// metrics.Collector.RegisterFunc), so Prometheus scrapes and long-form
+// dumps see gateway traffic next to protocol traffic.
+package gateway

@@ -1,0 +1,336 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peersampling/internal/metrics"
+)
+
+// Sampler is the slice of the peer sampling service the gateway needs:
+// runtime.Node implements it. GetPeer must be safe for concurrent use.
+type Sampler interface {
+	GetPeer() (string, error)
+}
+
+// Config tunes a Gateway. The zero value selects the defaults; every
+// field is hot-swappable on a running gateway via SetTuning.
+type Config struct {
+	// BatchSize is how many distinct peers each cache refresh targets.
+	// Zero selects 64.
+	BatchSize int
+	// Refresh is the cache refresh interval. Zero selects one second.
+	Refresh time.Duration
+	// RateRPS is the per-client token refill rate. Zero selects 5/s.
+	RateRPS float64
+	// Burst is the per-client bucket capacity. Zero selects 10.
+	Burst int
+}
+
+// fill validates cfg and resolves zero values to defaults.
+func (c *Config) fill() error {
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.Refresh == 0 {
+		c.Refresh = time.Second
+	}
+	if c.RateRPS == 0 {
+		c.RateRPS = 5
+	}
+	if c.Burst == 0 {
+		c.Burst = 10
+	}
+	switch {
+	case c.BatchSize < 0:
+		return fmt.Errorf("gateway: negative batch size %d", c.BatchSize)
+	case c.Refresh < time.Millisecond:
+		return fmt.Errorf("gateway: refresh %v is below the 1ms minimum", c.Refresh)
+	case c.RateRPS < 0:
+		return fmt.Errorf("gateway: negative rate %v", c.RateRPS)
+	case c.Burst < 0:
+		return fmt.Errorf("gateway: negative burst %d", c.Burst)
+	}
+	return nil
+}
+
+// Gateway is the light-client sampling API: an HTTP server answering
+// GET /v1/sample?n=K with K distinct peer addresses from a periodically
+// refreshed cache, and GET /healthz with a status report. Construct with
+// New; the server runs until Close.
+type Gateway struct {
+	sampler Sampler
+	ln      net.Listener
+	srv     *http.Server
+	limiter *rateLimiter
+	now     func() time.Time
+
+	mu          sync.Mutex
+	cfg         Config
+	batch       []string  // current sample cache; never mutated after swap
+	refreshedAt time.Time // zero until the first refresh lands
+	health      func() any
+
+	requests    atomic.Uint64
+	peersServed atomic.Uint64
+	rateLimited atomic.Uint64
+	unavailable atomic.Uint64
+	refreshes   atomic.Uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// New starts a gateway on addr (e.g. "127.0.0.1:8080", or ":0" for an
+// ephemeral port reported by Addr), sampling peers from sampler. The
+// first cache refresh runs before New returns, so a gateway over a
+// bootstrapped node can serve immediately.
+func New(addr string, sampler Sampler, cfg Config) (*Gateway, error) {
+	if sampler == nil {
+		return nil, errors.New("gateway: nil sampler")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen %s: %w", addr, err)
+	}
+	g := &Gateway{
+		sampler: sampler,
+		ln:      ln,
+		cfg:     cfg,
+		now:     time.Now,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	g.limiter = newRateLimiter(cfg.RateRPS, cfg.Burst, func() time.Time { return g.now() })
+	g.refresh()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sample", g.handleSample)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	// The timeouts mirror the metrics server's: small responses to many
+	// clients, so no phase may pin a goroutine (see metrics.NewServer).
+	g.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	go func() { _ = g.srv.Serve(ln) }()
+	go g.refreshLoop()
+	return g, nil
+}
+
+// Addr returns the bound listen address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// SetHealth installs a callback whose result is embedded in /healthz
+// responses under "daemon" — the hook the daemon manager uses to expose
+// its aggregated plugin report through the gateway's port.
+func (g *Gateway) SetHealth(fn func() any) {
+	g.mu.Lock()
+	g.health = fn
+	g.mu.Unlock()
+}
+
+// SetTuning replaces the gateway's tuning live: batch size and refresh
+// interval apply from the next refresh round, rate and burst to the next
+// request. The listen address is fixed at construction.
+func (g *Gateway) SetTuning(cfg Config) error {
+	if err := cfg.fill(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.cfg = cfg
+	g.mu.Unlock()
+	g.limiter.setRate(cfg.RateRPS, cfg.Burst)
+	return nil
+}
+
+// Close stops the server and the refresh loop. In-flight requests are
+// aborted; sample responses have nothing worth draining.
+func (g *Gateway) Close() error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+	return g.srv.Close()
+}
+
+// refreshLoop re-fills the cache every Config.Refresh until Close. A
+// timer re-armed per round (rather than a ticker) picks up a hot-swapped
+// interval within one old interval.
+func (g *Gateway) refreshLoop() {
+	defer close(g.done)
+	for {
+		g.mu.Lock()
+		interval := g.cfg.Refresh
+		g.mu.Unlock()
+		timer := time.NewTimer(interval)
+		select {
+		case <-g.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+			g.refresh()
+		}
+	}
+}
+
+// refresh draws a fresh batch of distinct peers through GetPeer. GetPeer
+// returns one view entry per call, so the refresh loops until it has
+// BatchSize distinct addresses or stops learning new ones; a node whose
+// view is smaller than the batch target simply yields a smaller batch.
+// An empty view empties the cache — serving stale peers from a node that
+// lost its whole view would hide a partition from clients.
+func (g *Gateway) refresh() {
+	g.mu.Lock()
+	target := g.cfg.BatchSize
+	g.mu.Unlock()
+
+	seen := make(map[string]bool, target)
+	batch := make([]string, 0, target)
+	misses := 0
+	for len(batch) < target && misses < 3*target+8 {
+		peer, err := g.sampler.GetPeer()
+		if err != nil {
+			break // empty view: serve what this round gathered (nothing)
+		}
+		if seen[peer] {
+			misses++
+			continue
+		}
+		seen[peer] = true
+		batch = append(batch, peer)
+	}
+	g.refreshes.Add(1)
+	g.mu.Lock()
+	g.batch = batch
+	g.refreshedAt = g.now()
+	g.mu.Unlock()
+}
+
+// sampleResponse is the /v1/sample JSON body.
+type sampleResponse struct {
+	Peers      []string `json:"peers"`
+	Count      int      `json:"count"`
+	CacheAgeMS int64    `json:"cache_age_ms"`
+}
+
+func (g *Gateway) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	g.mu.Lock()
+	batch, refreshedAt, target := g.batch, g.refreshedAt, g.cfg.BatchSize
+	g.mu.Unlock()
+
+	n := 1
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > target {
+			http.Error(w, fmt.Sprintf("n must be an integer in [1,%d]", target), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	if ok, retryAfter := g.limiter.allow(clientKey(r)); !ok {
+		g.rateLimited.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)+1))
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	if len(batch) == 0 {
+		g.unavailable.Add(1)
+		http.Error(w, "no peers available", http.StatusServiceUnavailable)
+		return
+	}
+	if n > len(batch) {
+		n = len(batch)
+	}
+	// A partial Fisher–Yates over a copy: the first n slots end up a
+	// uniform n-subset of the batch, each request independently.
+	peers := make([]string, len(batch))
+	copy(peers, batch)
+	for i := 0; i < n; i++ {
+		j := i + rand.IntN(len(peers)-i)
+		peers[i], peers[j] = peers[j], peers[i]
+	}
+	g.requests.Add(1)
+	g.peersServed.Add(uint64(n))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(sampleResponse{
+		Peers:      peers[:n],
+		Count:      n,
+		CacheAgeMS: g.now().Sub(refreshedAt).Milliseconds(),
+	})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	g.mu.Lock()
+	cacheSize, refreshedAt, health := len(g.batch), g.refreshedAt, g.health
+	g.mu.Unlock()
+	report := map[string]any{
+		"status":       "ok",
+		"cache_size":   cacheSize,
+		"cache_age_ms": g.now().Sub(refreshedAt).Milliseconds(),
+	}
+	if cacheSize == 0 {
+		report["status"] = "empty-cache"
+	}
+	if health != nil {
+		report["daemon"] = health()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(report)
+}
+
+// clientKey identifies the client for rate limiting: the remote IP,
+// ignoring the ephemeral port so one host's connections share a bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Snapshot reports the gateway's counters in the metrics pipeline's
+// common shape, for Collector.RegisterFunc. The refresh count rides the
+// Cycles column so the dumper's cycle-granularity sampling applies to
+// gateway sources unchanged.
+func (g *Gateway) Snapshot(unixMillis int64) metrics.NodeSnapshot {
+	g.mu.Lock()
+	cacheSize, refreshedAt := len(g.batch), g.refreshedAt
+	g.mu.Unlock()
+	refreshes := g.refreshes.Load()
+	return metrics.NodeSnapshot{
+		Addr:       g.Addr(),
+		UnixMillis: unixMillis,
+		Cycles:     refreshes,
+		Gateway: &metrics.GatewaySnapshot{
+			Requests:        g.requests.Load(),
+			PeersServed:     g.peersServed.Load(),
+			RateLimited:     g.rateLimited.Load(),
+			Unavailable:     g.unavailable.Load(),
+			Refreshes:       refreshes,
+			Clients:         g.limiter.clients(),
+			CacheSize:       cacheSize,
+			CacheAgeSeconds: g.now().Sub(refreshedAt).Seconds(),
+		},
+	}
+}

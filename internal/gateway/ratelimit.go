@@ -1,0 +1,95 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiterPruneThreshold is the tracked-bucket count past which allow
+// sweeps out fully-recovered buckets. A full bucket encodes no history —
+// dropping it and re-creating it on the client's next request is
+// indistinguishable from keeping it — so the sweep bounds memory under
+// client churn without ever loosening a limit.
+const limiterPruneThreshold = 1024
+
+// rateLimiter throttles clients with one token bucket each: a request
+// spends a token, tokens refill continuously at rate per second up to
+// burst. Buckets are created on first sight and pruned once they recover
+// fully, so the map tracks only clients with outstanding debt.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+// bucket is one client's token balance as of last.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     now,
+	}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports false and how long until a token will be available — the 429
+// Retry-After value.
+func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= limiterPruneThreshold {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	return true, 0
+}
+
+// prune drops buckets that have refilled completely. Caller holds mu.
+func (l *rateLimiter) prune(now time.Time) {
+	for key, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// setRate replaces the refill rate and burst capacity; existing balances
+// are clamped to the new burst so a lowered cap takes effect at once.
+func (l *rateLimiter) setRate(rate float64, burst int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rate = rate
+	l.burst = float64(burst)
+	for _, b := range l.buckets {
+		b.tokens = math.Min(b.tokens, l.burst)
+	}
+}
+
+// clients reports how many buckets are currently tracked.
+func (l *rateLimiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

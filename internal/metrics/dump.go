@@ -101,7 +101,10 @@ func (d *Dumper) Dump() error {
 	}
 	snaps := make([]NodeSnapshot, 0, len(all))
 	for _, s := range all {
-		if prev, ok := d.last[s.Node]; ok && prev.Cycles == s.Cycles {
+		// Gateway counters are compared too: a gateway source's cycle
+		// column is its refresh count, which stands still between refresh
+		// ticks even while requests are being served.
+		if prev, ok := d.last[s.Node]; ok && prev.Cycles == s.Cycles && gatewayUnchanged(prev.Gateway, s.Gateway) {
 			continue
 		}
 		snaps = append(snaps, s)
@@ -135,6 +138,18 @@ func (d *Dumper) Dump() error {
 		d.last[s.Node] = s
 	}
 	return nil
+}
+
+// gatewayUnchanged compares two gateway snapshots ignoring the cache
+// age: age advances with the clock alone, and letting it count as change
+// would emit an idle gateway's frozen counters every round forever.
+func gatewayUnchanged(prev, cur *GatewaySnapshot) bool {
+	if prev == nil || cur == nil {
+		return prev == cur
+	}
+	a, b := *prev, *cur
+	a.CacheAgeSeconds, b.CacheAgeSeconds = 0, 0
+	return a == b
 }
 
 // Start dumps one round every interval on a background goroutine until

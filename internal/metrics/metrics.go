@@ -79,6 +79,34 @@ type NodeSnapshot struct {
 	HopMin   int32   `json:"view_hop_min"`
 	HopMax   int32   `json:"view_hop_max"`
 	HopMean  float64 `json:"view_hop_mean"`
+
+	// Gateway holds the light-client sampling gateway's counters; nil for
+	// ordinary node sources. A gateway source reports its refresh count as
+	// Cycles, so the dumper's cycle-granularity sampling applies unchanged.
+	Gateway *GatewaySnapshot `json:"gateway,omitempty"`
+}
+
+// GatewaySnapshot is the sampling gateway's observable state: request
+// counters, rejection counters, and the health of the sample cache. The
+// struct is comparable so exporters can cheaply detect change.
+type GatewaySnapshot struct {
+	// Requests counts /v1/sample requests accepted for serving.
+	Requests uint64 `json:"requests"`
+	// PeersServed counts peer addresses returned across all requests.
+	PeersServed uint64 `json:"peers_served"`
+	// RateLimited counts requests refused with 429 by the per-client
+	// token buckets.
+	RateLimited uint64 `json:"rate_limited"`
+	// Unavailable counts requests refused with 503 (empty sample cache).
+	Unavailable uint64 `json:"unavailable"`
+	// Refreshes counts completed cache refresh rounds.
+	Refreshes uint64 `json:"refreshes"`
+	// Clients is the number of client buckets currently tracked.
+	Clients int `json:"clients"`
+	// CacheSize is the number of distinct peers in the current batch.
+	CacheSize int `json:"cache_size"`
+	// CacheAgeSeconds is how long ago the batch was refreshed.
+	CacheAgeSeconds float64 `json:"cache_age_seconds"`
 }
 
 // Rows flattens the snapshot into long-form rows keyed by the node name,
@@ -106,6 +134,18 @@ func (s NodeSnapshot) Rows() []LongRow {
 		rows = append(rows,
 			LongRow{s.Node, int(s.Cycles), "exchange_latency_p50", s.Latency.Quantile(0.50)},
 			LongRow{s.Node, int(s.Cycles), "exchange_latency_p99", s.Latency.Quantile(0.99)},
+		)
+	}
+	if g := s.Gateway; g != nil {
+		rows = append(rows,
+			LongRow{s.Node, int(s.Cycles), "gateway_requests", float64(g.Requests)},
+			LongRow{s.Node, int(s.Cycles), "gateway_peers_served", float64(g.PeersServed)},
+			LongRow{s.Node, int(s.Cycles), "gateway_rate_limited", float64(g.RateLimited)},
+			LongRow{s.Node, int(s.Cycles), "gateway_unavailable", float64(g.Unavailable)},
+			LongRow{s.Node, int(s.Cycles), "gateway_refreshes", float64(g.Refreshes)},
+			LongRow{s.Node, int(s.Cycles), "gateway_clients", float64(g.Clients)},
+			LongRow{s.Node, int(s.Cycles), "gateway_cache_size", float64(g.CacheSize)},
+			LongRow{s.Node, int(s.Cycles), "gateway_cache_age_seconds", g.CacheAgeSeconds},
 		)
 	}
 	return rows
@@ -166,6 +206,22 @@ func (c *Collector) RegisterPoller(name string, p Poller) {
 		if err != nil {
 			return NodeSnapshot{}, err
 		}
+		s.UnixMillis = unixMillis
+		return s, nil
+	})
+}
+
+// RegisterFunc adds a source whose whole snapshot is produced by fn —
+// the hook for subsystems that are not sampling nodes but export through
+// the same pipeline (the light-client gateway registers itself here).
+// fn receives the poll time and must be safe for concurrent use; an
+// empty name defaults to "source".
+func (c *Collector) RegisterFunc(name string, fn func(unixMillis int64) NodeSnapshot) {
+	if name == "" {
+		name = "source"
+	}
+	c.add(name, func(unixMillis int64) (NodeSnapshot, error) {
+		s := fn(unixMillis)
 		s.UnixMillis = unixMillis
 		return s, nil
 	})

@@ -56,6 +56,7 @@ func promFamilies(snaps []NodeSnapshot) []promFamily {
 		{"peersampling_source_last_update_seconds", "Unix time of the source's last successful poll; stops advancing when the source dies.", "gauge",
 			func(s NodeSnapshot) (float64, bool) { return float64(s.UnixMillis) / 1000, true }},
 	}
+	families = append(families, gatewayFamilies()...)
 	for _, wire := range wireCounterNames(snaps) {
 		name := wire // capture
 		families = append(families, promFamily{
@@ -76,6 +77,38 @@ func promFamilies(snaps []NodeSnapshot) []promFamily {
 		})
 	}
 	return families
+}
+
+// gatewayFamilies enumerates the sampling gateway's families. Samples
+// are emitted only for snapshots carrying a GatewaySnapshot, so node
+// sources stay unaffected.
+func gatewayFamilies() []promFamily {
+	gw := func(read func(g *GatewaySnapshot) float64) func(NodeSnapshot) (float64, bool) {
+		return func(s NodeSnapshot) (float64, bool) {
+			if s.Gateway == nil {
+				return 0, false
+			}
+			return read(s.Gateway), true
+		}
+	}
+	return []promFamily{
+		{"peersampling_gateway_requests_total", "Sample requests accepted for serving.", "counter",
+			gw(func(g *GatewaySnapshot) float64 { return float64(g.Requests) })},
+		{"peersampling_gateway_peers_served_total", "Peer addresses returned across all sample requests.", "counter",
+			gw(func(g *GatewaySnapshot) float64 { return float64(g.PeersServed) })},
+		{"peersampling_gateway_rate_limited_total", "Sample requests refused with 429 by the per-client rate limit.", "counter",
+			gw(func(g *GatewaySnapshot) float64 { return float64(g.RateLimited) })},
+		{"peersampling_gateway_unavailable_total", "Sample requests refused with 503 because the sample cache was empty.", "counter",
+			gw(func(g *GatewaySnapshot) float64 { return float64(g.Unavailable) })},
+		{"peersampling_gateway_refreshes_total", "Completed sample-cache refresh rounds.", "counter",
+			gw(func(g *GatewaySnapshot) float64 { return float64(g.Refreshes) })},
+		{"peersampling_gateway_clients", "Client rate-limit buckets currently tracked.", "gauge",
+			gw(func(g *GatewaySnapshot) float64 { return float64(g.Clients) })},
+		{"peersampling_gateway_cache_size", "Distinct peers in the current sample batch.", "gauge",
+			gw(func(g *GatewaySnapshot) float64 { return float64(g.CacheSize) })},
+		{"peersampling_gateway_cache_age_seconds", "Age of the current sample batch.", "gauge",
+			gw(func(g *GatewaySnapshot) float64 { return g.CacheAgeSeconds })},
+	}
 }
 
 // wireCounterNames returns the counter names of the first snapshot that

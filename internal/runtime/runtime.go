@@ -224,6 +224,19 @@ func (n *Node) TransportStats() (stats transport.Stats, ok bool) {
 	return r.TransportStats(), true
 }
 
+// SetTransportLimits replaces the transport's hardening limits on the
+// live endpoint — the hot path of a daemon config reload. ok is false
+// when the underlying transport has no adjustable limits (e.g. the
+// in-memory fabric), which is not an error: the caller's limits simply
+// have nowhere to apply.
+func (n *Node) SetTransportLimits(lim transport.Limits) (ok bool, err error) {
+	u, ok := n.transport.(transport.LimitsUpdater)
+	if !ok {
+		return false, nil
+	}
+	return true, u.SetLimits(lim)
+}
+
 // Start launches the active thread: every Period the node ages its view
 // and initiates one exchange, per Figure 1. Start is idempotent until
 // Close.

@@ -498,3 +498,34 @@ func ExampleNode_GetPeer() {
 	fmt.Println(peer)
 	// Output: ex-1
 }
+
+func TestSetTransportLimits(t *testing.T) {
+	tcpFactory := func(h transport.Handler) (transport.Transport, error) {
+		return transport.ListenTCP("127.0.0.1:0", h)
+	}
+	n, err := New(memConfig(core.Newscast), tcpFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ok, err := n.SetTransportLimits(transport.Limits{MaxConns: 7})
+	if !ok || err != nil {
+		t.Fatalf("SetTransportLimits over TCP: ok=%v err=%v", ok, err)
+	}
+	if ok, err := n.SetTransportLimits(transport.Limits{KeepAlive: -time.Second}); !ok || err == nil {
+		t.Fatalf("invalid limits: ok=%v err=%v, want ok and an error", ok, err)
+	}
+
+	// The in-memory fabric has no limits; ok=false, no error.
+	mem, err := New(memConfig(core.Newscast), transport.NewFabric().Factory("node"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if ok, err := n.SetTransportLimits(transport.Limits{}); !ok || err != nil {
+		t.Fatalf("default limits rejected: ok=%v err=%v", ok, err)
+	}
+	if ok, err := mem.SetTransportLimits(transport.Limits{MaxConns: 7}); ok || err != nil {
+		t.Fatalf("fabric limits: ok=%v err=%v, want not-ok and nil", ok, err)
+	}
+}

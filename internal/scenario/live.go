@@ -42,19 +42,19 @@ func (e LiveEnv) cluster(cfg fleet.Config) (fleet.Cluster, error) {
 
 // spawnLinear boots n members: the first contactless, every later one
 // bootstrapped from the first member's address (the single-contact shape
-// of the paper's growing scenario).
+// of the paper's growing scenario). The later members come up through
+// fleet.SpawnN's bounded-concurrency wave, so a 32-node subprocess fleet
+// boots in a few fork+ready latencies instead of 32 sequential ones.
 func spawnLinear(c fleet.Cluster, n int) ([]fleet.Member, error) {
-	members := make([]fleet.Member, 0, n)
-	for i := 0; i < n; i++ {
-		var contacts []string
-		if i > 0 {
-			contacts = []string{members[0].Addr()}
-		}
-		m, err := c.Spawn(contacts)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: spawn member %d: %w", i, err)
-		}
-		members = append(members, m)
+	first, err := c.Spawn(nil)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: spawn first member: %w", err)
+	}
+	members := append(make([]fleet.Member, 0, n), first)
+	rest, err := fleet.SpawnN(c, n-1, []string{first.Addr()})
+	members = append(members, rest...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: spawn members: %w", err)
 	}
 	return members, nil
 }

@@ -211,14 +211,14 @@ func RunLiveChurn(sc Scale, seed uint64, env LiveEnv) (*LiveChurnResult, error) 
 		if len(contacts) > 3 {
 			contacts = contacts[:3]
 		}
-		for i := 0; i < kill; i++ {
-			m, err := cluster.Spawn(contacts)
-			if err != nil {
-				return nil, fmt.Errorf("scenario: churn round %d: respawn: %w", round+1, err)
-			}
+		joiners, err := fleet.SpawnN(cluster, kill, contacts)
+		for _, m := range joiners {
 			members = append(members, m)
 			ever[m.Addr()] = true
 			report.Respawned++
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: churn round %d: respawn: %w", round+1, err)
 		}
 		complete, report.AfterRespawn = waitCompleteViews(members, p.Period, phaseTimeout)
 		_, live = completeLiveViews(members)

@@ -121,44 +121,77 @@ func (lim *Limits) budget(first, pulled bool) time.Duration {
 	}
 }
 
+// LimitsUpdater is implemented by transports whose hardening limits can
+// be replaced on a live listener. All real backends implement it: the
+// new limits govern the connection cap immediately (connections already
+// over a lowered cap finish serving; only new arrivals are refused) and
+// the keep-alive budgets from each served connection's next frame.
+type LimitsUpdater interface {
+	// SetLimits validates lim (zero fields select defaults, exactly as at
+	// construction) and applies it to the running listener.
+	SetLimits(lim Limits) error
+}
+
+// limitsBox holds a listener's current Limits behind an atomic pointer
+// so SetLimits can swap them while served connections read the budget
+// schedule frame by frame. The stored value is always filled (validated,
+// defaults resolved) and never mutated after store.
+type limitsBox struct {
+	p atomic.Pointer[Limits]
+}
+
+// store publishes an already-filled Limits.
+func (b *limitsBox) store(lim Limits) { b.p.Store(&lim) }
+
+// load returns the current Limits; the caller must not mutate them.
+func (b *limitsBox) load() *Limits { return b.p.Load() }
+
 // connGate enforces Limits.MaxConns on a listener's accept path. Slots
 // are acquired without blocking: a connection beyond the cap is the
 // caller's to close (and count), which keeps the accept loop draining the
 // kernel backlog instead of letting a flood park there and starve
-// legitimate dials behind it.
+// legitimate dials behind it. The cap is resizable (SetLimits): a
+// counter under a mutex rather than a channel semaphore, so lowering the
+// cap below the current occupancy simply refuses new arrivals until
+// enough in-flight connections drain.
 type connGate struct {
-	sem     chan struct{} // nil means unlimited
 	rejects *atomic.Uint64
+
+	mu     sync.Mutex
+	active int
+	max    int // <= 0 means unlimited
 }
 
 func newConnGate(maxConns int, rejects *atomic.Uint64) *connGate {
-	g := &connGate{rejects: rejects}
-	if maxConns > 0 {
-		g.sem = make(chan struct{}, maxConns)
-	}
-	return g
+	return &connGate{rejects: rejects, max: maxConns}
 }
 
 // tryAcquire claims a serve slot, reporting false (and counting the
 // reject) when the listener is at capacity.
 func (g *connGate) tryAcquire() bool {
-	if g.sem == nil {
-		return true
-	}
-	select {
-	case g.sem <- struct{}{}:
-		return true
-	default:
+	g.mu.Lock()
+	if g.max > 0 && g.active >= g.max {
+		g.mu.Unlock()
 		g.rejects.Add(1)
 		return false
 	}
+	g.active++
+	g.mu.Unlock()
+	return true
 }
 
 // release returns a slot claimed by tryAcquire.
 func (g *connGate) release() {
-	if g.sem != nil {
-		<-g.sem
-	}
+	g.mu.Lock()
+	g.active--
+	g.mu.Unlock()
+}
+
+// setMax replaces the connection cap for future arrivals.
+func (g *connGate) setMax(maxConns int) {
+	g.mu.Lock()
+	g.max = maxConns
+	g.mu.Unlock()
 }
 
 // acceptLoop is the shared hardened accept path of the TCP backends: it

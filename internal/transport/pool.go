@@ -73,6 +73,8 @@ type PooledTCP struct {
 	listener net.Listener
 	handler  Handler
 	cfg      PoolConfig
+	limits   limitsBox // current serve-side Limits (cfg.Limits is the construction-time value)
+	gate     *connGate
 	stats    counters
 
 	mu     sync.Mutex
@@ -86,6 +88,7 @@ type PooledTCP struct {
 var (
 	_ Transport     = (*PooledTCP)(nil)
 	_ StatsReporter = (*PooledTCP)(nil)
+	_ LimitsUpdater = (*PooledTCP)(nil)
 )
 
 // pooledConn is an outbound connection plus the time it was returned to
@@ -117,10 +120,24 @@ func ListenPooledTCP(addr string, h Handler, cfg PoolConfig) (*PooledTCP, error)
 		reg:      newConnRegistry(),
 		stop:     make(chan struct{}),
 	}
+	t.limits.store(cfg.Limits)
+	t.gate = newConnGate(cfg.Limits.MaxConns, &t.stats.acceptRejects)
 	t.wg.Add(2)
 	go t.serve()
 	go t.sweepLoop()
 	return t, nil
+}
+
+// SetLimits implements LimitsUpdater: it validates lim and applies it to
+// the live listener side (the dialing side's pool tuning is fixed at
+// construction).
+func (t *PooledTCP) SetLimits(lim Limits) error {
+	if err := lim.fill(); err != nil {
+		return err
+	}
+	t.limits.store(lim)
+	t.gate.setMax(lim.MaxConns)
+	return nil
 }
 
 // Addr implements Transport.
@@ -131,13 +148,13 @@ func (t *PooledTCP) TransportStats() Stats { return t.stats.snapshot() }
 
 func (t *PooledTCP) serve() {
 	defer t.wg.Done()
-	acceptLoop(t.listener, newConnGate(t.cfg.Limits.MaxConns, &t.stats.acceptRejects), &t.wg, t.serveConn)
+	acceptLoop(t.listener, t.gate, &t.wg, t.serveConn)
 }
 
 // serveConn is the passive side of a persistent connection; the budget
 // schedule (shared with the plain TCP backend) is Limits.budget's.
 func (t *PooledTCP) serveConn(conn net.Conn) {
-	servePersistent(conn, t.handler, &t.stats, t.reg, &t.cfg.Limits)
+	servePersistent(conn, t.handler, &t.stats, t.reg, &t.limits)
 }
 
 // Exchange implements Transport. It borrows a pooled connection to addr

@@ -24,7 +24,8 @@ const tcpDefaultTimeout = 5 * time.Second
 type TCP struct {
 	listener net.Listener
 	handler  Handler
-	limits   Limits
+	limits   limitsBox
+	gate     *connGate
 	stats    counters
 
 	mu     sync.Mutex
@@ -36,6 +37,7 @@ type TCP struct {
 var (
 	_ Transport     = (*TCP)(nil)
 	_ StatsReporter = (*TCP)(nil)
+	_ LimitsUpdater = (*TCP)(nil)
 )
 
 // ListenTCP starts serving on addr (e.g. "127.0.0.1:0") with h handling
@@ -58,10 +60,24 @@ func ListenTCPLimits(addr string, h Handler, lim Limits) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{listener: l, handler: h, limits: lim, reg: newConnRegistry()}
+	t := &TCP{listener: l, handler: h, reg: newConnRegistry()}
+	t.limits.store(lim)
+	t.gate = newConnGate(lim.MaxConns, &t.stats.acceptRejects)
 	t.wg.Add(1)
 	go t.serve()
 	return t, nil
+}
+
+// SetLimits implements LimitsUpdater: it validates lim and applies it to
+// the live listener — the connection cap to future accepts, the
+// keep-alive budgets from each served connection's next frame.
+func (t *TCP) SetLimits(lim Limits) error {
+	if err := lim.fill(); err != nil {
+		return err
+	}
+	t.limits.store(lim)
+	t.gate.setMax(lim.MaxConns)
+	return nil
 }
 
 // Addr implements Transport; it returns the bound address, with the
@@ -70,7 +86,7 @@ func (t *TCP) Addr() string { return t.listener.Addr().String() }
 
 func (t *TCP) serve() {
 	defer t.wg.Done()
-	acceptLoop(t.listener, newConnGate(t.limits.MaxConns, &t.stats.acceptRejects), &t.wg, t.handleConn)
+	acceptLoop(t.listener, t.gate, &t.wg, t.handleConn)
 }
 
 // handleConn serves one connection. The first frame must arrive within
@@ -239,11 +255,13 @@ func (r *connRegistry) closeAll() {
 // servePersistent is the shared passive serve loop of the TCP transports:
 // it reads frames from conn and hands them to handleFrame until the peer
 // closes, misbehaves, exceeds its read budget, or the registry shuts
-// down. The budget schedule is lim's: a slowloris window before the
-// opening frame, then the keep-alive the connection has earned (full
-// after its first pull, shrunken while it has only ever pushed). A budget
-// expiry is counted as a keep-alive eviction.
-func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistry, lim *Limits) {
+// down. The budget schedule is the box's current Limits, re-read before
+// every frame so a live SetLimits takes effect on connections already
+// being served: a slowloris window before the opening frame, then the
+// keep-alive the connection has earned (full after its first pull,
+// shrunken while it has only ever pushed). A budget expiry is counted as
+// a keep-alive eviction.
+func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistry, box *limitsBox) {
 	if !reg.add(conn) {
 		conn.Close()
 		return
@@ -254,7 +272,7 @@ func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistr
 	}()
 	first, pulled := true, false
 	for {
-		_ = conn.SetDeadline(time.Now().Add(lim.budget(first, pulled)))
+		_ = conn.SetDeadline(time.Now().Add(box.load().budget(first, pulled)))
 		frame, err := readFrame(conn)
 		if err != nil {
 			var nerr net.Error

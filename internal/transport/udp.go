@@ -34,7 +34,7 @@ var ErrOversized = errors.New("transport: message exceeds datagram size")
 type UDP struct {
 	conn     *net.UDPConn
 	handler  Handler
-	limits   Limits
+	limits   limitsBox
 	stats    counters
 	gate     *connGate
 	wg       sync.WaitGroup // in-flight handler goroutines
@@ -45,6 +45,7 @@ type UDP struct {
 var (
 	_ Transport     = (*UDP)(nil)
 	_ StatsReporter = (*UDP)(nil)
+	_ LimitsUpdater = (*UDP)(nil)
 )
 
 // datagramBufs recycles max-size receive buffers across exchanges; one
@@ -87,10 +88,23 @@ func ListenUDPLimits(addr string, h Handler, lim Limits) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
 	}
-	t := &UDP{conn: conn, handler: h, limits: lim, done: make(chan struct{})}
+	t := &UDP{conn: conn, handler: h, done: make(chan struct{})}
+	t.limits.store(lim)
 	t.gate = newConnGate(lim.MaxConns, &t.stats.acceptRejects)
 	go t.serve()
 	return t, nil
+}
+
+// SetLimits implements LimitsUpdater: it validates lim and applies
+// MaxConns (the concurrent-handler cap, the only field the datagram
+// backend uses) to the live socket.
+func (t *UDP) SetLimits(lim Limits) error {
+	if err := lim.fill(); err != nil {
+		return err
+	}
+	t.limits.store(lim)
+	t.gate.setMax(lim.MaxConns)
+	return nil
 }
 
 // Addr implements Transport.

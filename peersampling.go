@@ -55,10 +55,14 @@
 package peersampling
 
 import (
+	"flag"
 	"io"
 	"time"
 
+	"peersampling/internal/config"
 	"peersampling/internal/core"
+	"peersampling/internal/daemon"
+	"peersampling/internal/gateway"
 	"peersampling/internal/metrics"
 	"peersampling/internal/runtime"
 	"peersampling/internal/scenario"
@@ -317,3 +321,68 @@ func NewRandomOverlay(cfg SimConfig, n int) *Simulation { return scenario.BuildR
 // NewLatticeOverlay returns a Simulation of n nodes bootstrapped as the
 // paper's structured ring lattice.
 func NewLatticeOverlay(cfg SimConfig, n int) *Simulation { return scenario.BuildLattice(cfg, n) }
+
+// Daemon runtime (re-exported from internal/config, internal/daemon and
+// internal/gateway): the configuration-driven service form of the node,
+// the same machinery cmd/psnode runs.
+type (
+	// Config is the daemon's full versioned configuration: node identity
+	// and protocol, transport backend and hardening limits, metrics
+	// endpoints, control surface, and the sampling gateway.
+	Config = config.Config
+	// ConfigDiff classifies the changes between two configs into
+	// hot-applicable and restart-required field paths.
+	ConfigDiff = config.ReloadDiff
+	// ConfigFlags overlays explicitly-set command-line flags onto a
+	// Config (see FromFlags / Apply).
+	ConfigFlags = config.Flags
+	// Daemon owns one node plus its plugin service surface (metrics
+	// server, dumper, reporter, control agent, gateway) with aggregated
+	// health, live reload and signal handling.
+	Daemon = daemon.Manager
+	// DaemonOptions parameterises NewDaemon.
+	DaemonOptions = daemon.Options
+	// DaemonReport is the aggregated status served on /healthz.
+	DaemonReport = daemon.Report
+	// PluginStatus is one daemon plugin's lifecycle state.
+	PluginStatus = daemon.Status
+	// Gateway serves cached peer samples to light clients over HTTP
+	// (GET /v1/sample?n=K) with per-client rate limiting.
+	Gateway = gateway.Gateway
+	// GatewayConfig tunes a Gateway's cache and rate limits.
+	GatewayConfig = gateway.Config
+	// GatewaySampler is the node-side surface a Gateway draws from
+	// (satisfied by *Node).
+	GatewaySampler = gateway.Sampler
+)
+
+// DefaultConfig returns the daemon configuration with every field at its
+// documented default (loopback ephemeral listener, Newscast protocol,
+// all optional plugins disabled).
+func DefaultConfig() Config { return config.Default() }
+
+// LoadConfig loads, defaults and validates a daemon configuration from a
+// YAML or JSON file (the format follows the extension, with a content
+// sniff fallback). Unknown fields and invalid values are errors naming
+// the offending field path.
+func LoadConfig(path string) (Config, error) { return config.LoadFile(path) }
+
+// WriteConfig writes cfg to path as JSON (a valid LoadConfig input —
+// how the fleet's subprocess driver provisions its members).
+func WriteConfig(path string, cfg Config) error { return config.WriteFile(path, cfg) }
+
+// ConfigFromFlags registers the daemon's config-override flags on fs;
+// after fs.Parse, Apply overlays exactly the flags the user set.
+func ConfigFromFlags(fs *flag.FlagSet) *ConfigFlags { return config.FromFlags(fs) }
+
+// NewDaemon builds the full daemon — node, transport, and every plugin
+// the config enables — without starting it. Use Start/Close for manual
+// lifecycles or Run for the signal-driven foreground form.
+func NewDaemon(cfg Config, opts DaemonOptions) (*Daemon, error) { return daemon.New(cfg, opts) }
+
+// NewGateway serves the light-client sampling API on addr off s
+// (typically a *Node), refreshing its peer cache in the background. A
+// zero GatewayConfig selects the defaults.
+func NewGateway(addr string, s GatewaySampler, cfg GatewayConfig) (*Gateway, error) {
+	return gateway.New(addr, s, cfg)
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Run the wire-level exchange microbenchmarks and emit a machine-readable
+# summary as BENCH_pr6.json in the repository root: one entry per
+# benchmark with ns/op, B/op and allocs/op. The JSON is the artifact a
+# perf-tracking job diffs between PRs; the raw `go test -bench` output is
+# kept next to it for humans. Run from the repository root; pass extra
+# benchmark names as $1 to widen the sweep (regexp, default exchange +
+# codec benchmarks).
+set -eu
+
+pattern="${1:-Exchange|CodecRoundTrip}"
+out="BENCH_pr6.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT INT TERM
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime=1x -count=1 . >"$raw" 2>&1 || {
+    echo "benchmarks failed:" >&2
+    cat "$raw" >&2
+    exit 1
+}
+# A second timed pass for the numbers that matter; the 1x pass above is a
+# cheap correctness gate so a broken benchmark fails fast, not 10 minutes
+# in.
+go test -run '^$' -bench "$pattern" -benchmem -benchtime=100x -count=1 . >"$raw" 2>&1 || {
+    echo "benchmarks failed:" >&2
+    cat "$raw" >&2
+    exit 1
+}
+
+awk -v out="$out" '
+/^Benchmark/ && NF >= 4 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; bytes = "null"; allocs = "null"
+    # Benchmarks may report extra custom metrics, so find each standard
+    # column by its unit instead of by position.
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "B/op") bytes = $(i - 1)
+        else if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    entries = entries sep sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $2, ns, bytes, allocs)
+    sep = ",\n"
+}
+END {
+    if (entries == "") {
+        print "no benchmark lines parsed" > "/dev/stderr"
+        exit 1
+    }
+    printf "[\n%s\n]\n", entries > out
+}
+' "$raw"
+
+echo "wrote $out:"
+cat "$out"
