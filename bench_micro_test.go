@@ -81,6 +81,59 @@ func BenchmarkSimCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedCycle measures the staged parallel cycle driver at a
+// size where per-cycle overheads have vanished; the worker subbenches
+// expose its scaling (bounded by the machine — the results are honest
+// numbers for the hardware they ran on, not an architecture claim).
+func BenchmarkShardedCycle(b *testing.B) {
+	w := benchNetwork(b, 100_000)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunCycleSharded(workers)
+			}
+		})
+	}
+}
+
+// millionNetwork builds the 10^6-node population once per process and
+// shares it across the million-scale benchmarks; rebuilding it per
+// benchmark would dwarf the measurements.
+var millionNetwork *sim.Network
+
+func benchMillionNetwork(b *testing.B) *sim.Network {
+	b.Helper()
+	if millionNetwork == nil {
+		millionNetwork = scenario.BuildRandom(
+			sim.Config{Protocol: core.Newscast, ViewSize: 30, Seed: 2}, 1_000_000)
+		millionNetwork.RunSharded(2, 0) // leave the artificial bootstrap state
+	}
+	return millionNetwork
+}
+
+// BenchmarkMillionCycleSeq runs one sequential cycle over 10^6 nodes —
+// the paper's scale, far beyond what its authors could simulate in 2004.
+// Run with -benchtime=1x: a single cycle is seconds, and the population
+// state advances across iterations.
+func BenchmarkMillionCycleSeq(b *testing.B) {
+	w := benchMillionNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunCycle()
+	}
+}
+
+// BenchmarkMillionCycleSharded is the same population driven by the
+// staged engine at GOMAXPROCS workers.
+func BenchmarkMillionCycleSharded(b *testing.B) {
+	w := benchMillionNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunCycleSharded(0)
+	}
+}
+
 func BenchmarkSnapshot(b *testing.B) {
 	w := benchNetwork(b, 10_000)
 	b.ReportAllocs()
@@ -129,7 +182,36 @@ func BenchmarkRemovalSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCodecRoundTrip measures the pooled codec path every transport
+// hot loop uses: encode into a reused buffer, decode through a Decoder
+// that reuses descriptor scratch and interns addresses. At steady state
+// the round trip is allocation-free.
 func BenchmarkCodecRoundTrip(b *testing.B) {
+	buf := make([]core.Descriptor[string], 31)
+	for i := range buf {
+		buf[i] = core.Descriptor[string]{Addr: fmt.Sprintf("10.0.%d.%d:7946", i, i), Hop: int32(i)}
+	}
+	req := transport.Request{From: "10.0.0.1:7946", WantReply: true, Buffer: buf}
+	var dec transport.Decoder
+	var encBuf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := transport.AppendRequest(encBuf[:0], req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encBuf = frame
+		if _, _, _, err := dec.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecRoundTripAlloc is the allocating convenience path
+// (EncodeRequest + DecodeMessage); the delta against
+// BenchmarkCodecRoundTrip is what buffer reuse and interning save.
+func BenchmarkCodecRoundTripAlloc(b *testing.B) {
 	buf := make([]core.Descriptor[string], 31)
 	for i := range buf {
 		buf[i] = core.Descriptor[string]{Addr: fmt.Sprintf("10.0.%d.%d:7946", i, i), Hop: int32(i)}

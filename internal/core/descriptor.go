@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -43,7 +44,18 @@ func SortByHop[A comparable](buf []Descriptor[A]) {
 // inputs must each be sorted by hop count and free of duplicate addresses;
 // the result is a freshly allocated slice.
 func Merge[A comparable](first, second []Descriptor[A]) []Descriptor[A] {
-	out := make([]Descriptor[A], 0, len(first)+len(second))
+	return MergeInto(make([]Descriptor[A], 0, len(first)+len(second)), first, second)
+}
+
+// MergeInto is Merge writing its result into dst (which is truncated
+// first and must not alias either input). It returns the possibly grown
+// dst, so callers holding a reusable scratch slice can merge without
+// allocating once the scratch has reached steady-state capacity.
+func MergeInto[A comparable](dst, first, second []Descriptor[A]) []Descriptor[A] {
+	// Grow dst to the worst case up front: reusable scratches then reach
+	// their steady-state capacity on the first merge instead of creeping
+	// towards it over many cycles, each growth step paying an allocation.
+	out := slices.Grow(dst[:0], len(first)+len(second))
 	i, j := 0, 0
 	for i < len(first) || j < len(second) {
 		var d Descriptor[A]

@@ -44,6 +44,12 @@ type Node[A comparable] struct {
 	// failedExchanges counts initiations whose peer never answered (only
 	// meaningful when the environment reports failures via OnExchangeFailed).
 	failedExchanges uint64
+
+	// mergeScratch is the reusable buffer applyBuffer merges into: the
+	// merged result is consumed synchronously by view selection (which
+	// copies the survivors into the view), so a single per-node scratch
+	// makes every view merge allocation-free at steady state.
+	mergeScratch []Descriptor[A]
 }
 
 // NewNode returns a node with an empty view of the given capacity,
@@ -126,13 +132,25 @@ func (n *Node[A]) InitiateExchange() (peer A, req Request[A], err error) {
 
 // MakeRequest builds the request message of the active thread: for push
 // protocols the view merged with the node's fresh self-descriptor, for
-// pull-only protocols an empty buffer that triggers a response.
+// pull-only protocols an empty buffer that triggers a response. The
+// returned buffer is freshly allocated; environments that own a reusable
+// buffer should call MakeRequestInto instead.
 func (n *Node[A]) MakeRequest() Request[A] {
+	req, _ := n.MakeRequestInto(nil)
+	return req
+}
+
+// MakeRequestInto is MakeRequest building the request buffer inside buf
+// (truncated first). It returns the request and the possibly grown buf for
+// the caller to keep; the request's Buffer aliases it, so the caller must
+// not rebuild into the same buf until the request has been consumed.
+func (n *Node[A]) MakeRequestInto(buf []Descriptor[A]) (Request[A], []Descriptor[A]) {
 	req := Request[A]{From: n.self, WantReply: n.proto.Prop.HasPull()}
 	if n.proto.Prop.HasPush() {
-		req.Buffer = n.outgoingBuffer()
+		buf = n.outgoingInto(buf)
+		req.Buffer = buf
 	}
-	return req
+	return req, buf
 }
 
 // HandleRequest runs the passive thread of Figure 1 for one incoming
@@ -141,15 +159,26 @@ func (n *Node[A]) MakeRequest() Request[A] {
 // The returned ok is false for push-only protocols, where no response is
 // sent.
 func (n *Node[A]) HandleRequest(req Request[A]) (resp Response[A], ok bool) {
+	resp, _, ok = n.HandleRequestInto(req, nil)
+	return resp, ok
+}
+
+// HandleRequestInto is HandleRequest building the response buffer inside
+// buf (truncated first). It returns the response and the possibly grown
+// buf for the caller to keep; the response's Buffer aliases it, so the
+// caller must not rebuild into the same buf until the response has been
+// consumed.
+func (n *Node[A]) HandleRequestInto(req Request[A], buf []Descriptor[A]) (resp Response[A], out []Descriptor[A], ok bool) {
 	IncreaseHop(req.Buffer)
 	if req.WantReply {
 		// Build the reply before merging, exactly as in Figure 1: the
 		// response carries the pre-merge view plus our own descriptor.
-		resp = Response[A]{From: n.self, Buffer: n.outgoingBuffer()}
+		buf = n.outgoingInto(buf)
+		resp = Response[A]{From: n.self, Buffer: buf}
 		ok = true
 	}
 	n.applyBuffer(req.Buffer)
-	return resp, ok
+	return resp, buf, ok
 }
 
 // HandleResponse completes a pull or pushpull exchange on the active side:
@@ -170,24 +199,28 @@ func (n *Node[A]) OnExchangeFailed(A) { n.failedExchanges++ }
 // environment reported a failure.
 func (n *Node[A]) FailedExchanges() uint64 { return n.failedExchanges }
 
-// outgoingBuffer returns merge(view, {(self, 0)}): the node's view with
-// its own zero-hop descriptor in front. All stored descriptors have hop
-// count >= 1 (they were incremented on receipt), so the self-descriptor
-// sorts strictly first except transiently during bootstrap, where the
-// stable merge still places it before equal-hop entries of the second
-// operand.
-func (n *Node[A]) outgoingBuffer() []Descriptor[A] {
-	self := []Descriptor[A]{{Addr: n.self, Hop: 0}}
-	return Merge(self, n.view.items)
+// outgoingInto writes merge(view, {(self, 0)}) into buf (truncated
+// first) and returns it: the node's view with its own zero-hop descriptor
+// in front. The view never contains its owner and the self-descriptor's
+// hop count of zero is minimal, so the merge reduces to prepending self —
+// exactly what a stable Merge would produce, since on equal hop counts
+// (possible only transiently during bootstrap) the first operand's entry
+// precedes the second's.
+func (n *Node[A]) outgoingInto(buf []Descriptor[A]) []Descriptor[A] {
+	buf = append(buf[:0], Descriptor[A]{Addr: n.self, Hop: 0})
+	return append(buf, n.view.items...)
 }
 
 // applyBuffer merges a received buffer into the view and truncates it with
 // the view selection policy, dropping any descriptor of the node itself.
 // Following Figure 1 the received buffer is the first merge operand, so on
-// equal hop counts received descriptors precede resident ones.
+// equal hop counts received descriptors precede resident ones. The merge
+// lands in the node's reusable scratch (view selection copies the
+// survivors out), keeping steady-state exchanges allocation-free.
 func (n *Node[A]) applyBuffer(received []Descriptor[A]) {
-	merged := Merge(received, n.view.items)
+	merged := MergeInto(n.mergeScratch, received, n.view.items)
 	merged = dropAddr(merged, n.self)
+	n.mergeScratch = merged[:0]
 	n.view.selectInto(n.proto.ViewSel, merged, n.rng)
 }
 

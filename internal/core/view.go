@@ -20,6 +20,10 @@ import (
 type View[A comparable] struct {
 	items    []Descriptor[A]
 	capacity int
+
+	// idxScratch is the reusable index permutation for random view
+	// selection, so steady-state truncation does not allocate.
+	idxScratch []int
 }
 
 // NewView returns an empty view that holds at most capacity descriptors.
@@ -146,7 +150,11 @@ func (v *View[A]) selectInto(policy ViewSelection, buffer []Descriptor[A], rng *
 		case ViewTail:
 			buffer = buffer[len(buffer)-v.capacity:]
 		case ViewRand:
-			buffer = sampleOrdered(buffer, v.capacity, rng)
+			if cap(v.idxScratch) < len(buffer) {
+				v.idxScratch = make([]int, len(buffer))
+			}
+			v.items = sampleOrderedInto(v.items[:0], v.idxScratch[:len(buffer)], buffer, v.capacity, rng)
+			return
 		default:
 			panic(fmt.Sprintf("core: invalid view selection policy %d", policy))
 		}
@@ -159,8 +167,15 @@ func (v *View[A]) selectInto(policy ViewSelection, buffer []Descriptor[A], rng *
 // partial Fisher-Yates over an index permutation so the input slice is
 // left untouched.
 func sampleOrdered[A comparable](buf []Descriptor[A], k int, rng *rand.Rand) []Descriptor[A] {
+	return sampleOrderedInto(make([]Descriptor[A], 0, k), make([]int, len(buf)), buf, k, rng)
+}
+
+// sampleOrderedInto is sampleOrdered appending the chosen descriptors to
+// dst, using idx (len(buf) entries) as the permutation scratch; neither
+// may alias buf. Factoring the scratch out lets the view's steady-state
+// random truncation run without allocating.
+func sampleOrderedInto[A comparable](dst []Descriptor[A], idx []int, buf []Descriptor[A], k int, rng *rand.Rand) []Descriptor[A] {
 	n := len(buf)
-	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -175,9 +190,8 @@ func sampleOrdered[A comparable](buf []Descriptor[A], k int, rng *rand.Rand) []D
 			chosen[j], chosen[j-1] = chosen[j-1], chosen[j]
 		}
 	}
-	out := make([]Descriptor[A], k)
-	for i, ix := range chosen {
-		out[i] = buf[ix]
+	for _, ix := range chosen {
+		dst = append(dst, buf[ix])
 	}
-	return out
+	return dst
 }

@@ -43,6 +43,17 @@ type Network struct {
 
 	// scratch holds the per-cycle initiator order to avoid reallocation.
 	scratch []NodeID
+
+	// reqScratch and respScratch are the reusable exchange buffers of the
+	// sequential cycle driver: a request is consumed by its peer and a
+	// response by its initiator before the next exchange starts, so one
+	// buffer of each suffices and steady-state cycles do not allocate.
+	reqScratch  []core.Descriptor[NodeID]
+	respScratch []core.Descriptor[NodeID]
+
+	// sharded is the reusable state of the staged parallel cycle driver
+	// (see sharded.go); nil until RunCycleSharded is first called.
+	sharded *shardedEngine
 }
 
 // New returns an empty network. Nodes are added with Add or the bootstrap
@@ -132,13 +143,22 @@ func (w *Network) KillFraction(fraction float64) []NodeID {
 
 // LiveIDs returns the IDs of all live nodes in ascending order.
 func (w *Network) LiveIDs() []NodeID {
-	out := make([]NodeID, 0, w.live)
+	return w.appendLiveIDs(make([]NodeID, 0, w.live))
+}
+
+// appendLiveIDs appends the IDs of all live nodes to dst in ascending ID
+// order. Every cycle driver builds its initiator list through this helper:
+// the ascending order is a determinism invariant — the seeded shuffle (or
+// the staged schedule) is the only source of ordering randomness, so two
+// networks built with the same seed and the same operation sequence replay
+// identically.
+func (w *Network) appendLiveIDs(dst []NodeID) []NodeID {
 	for id, ok := range w.alive {
 		if ok {
-			out = append(out, NodeID(id))
+			dst = append(dst, NodeID(id))
 		}
 	}
-	return out
+	return dst
 }
 
 // RunCycle executes one protocol cycle: every node live at the start of
@@ -147,12 +167,7 @@ func (w *Network) LiveIDs() []NodeID {
 // initiator's state (the paper's protocols have no explicit failure
 // handling).
 func (w *Network) RunCycle() {
-	w.scratch = w.scratch[:0]
-	for id, ok := range w.alive {
-		if ok {
-			w.scratch = append(w.scratch, NodeID(id))
-		}
-	}
+	w.scratch = w.appendLiveIDs(w.scratch[:0])
 	w.rng.Shuffle(len(w.scratch), func(i, j int) {
 		w.scratch[i], w.scratch[j] = w.scratch[j], w.scratch[i]
 	})
@@ -173,19 +188,24 @@ func (w *Network) Run(n int) {
 }
 
 // exchange runs the active thread of one node for this cycle: the view
-// ages by one cycle, then the node gossips with its selected peer.
+// ages by one cycle, then the node gossips with its selected peer. The
+// request and response live in the network's reusable buffers — each is
+// fully consumed before the next exchange rebuilds them.
 func (w *Network) exchange(id NodeID) {
 	node := w.nodes[id]
 	node.AgeView()
-	peer, req, err := node.InitiateExchange()
+	peer, err := node.SelectPeer()
 	if err != nil {
 		return // empty view: nothing to gossip with this cycle
 	}
+	req, reqBuf := node.MakeRequestInto(w.reqScratch)
+	w.reqScratch = reqBuf
 	if !w.alive[peer] {
 		node.OnExchangeFailed(peer)
 		return
 	}
-	resp, ok := w.nodes[peer].HandleRequest(req)
+	resp, respBuf, ok := w.nodes[peer].HandleRequestInto(req, w.respScratch)
+	w.respScratch = respBuf
 	if ok {
 		node.HandleResponse(resp)
 	}

@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// allocBudgetRequest is a realistic pushpull request: a full
+// 30-descriptor view plus the sender's own descriptor.
+func allocBudgetRequest() Request {
+	buf := make([]Descriptor, 31)
+	for i := range buf {
+		buf[i] = Descriptor{Addr: fmt.Sprintf("10.0.%d.%d:7946", i, i), Hop: int32(i)}
+	}
+	return Request{From: "10.0.0.1:7946", WantReply: true, Buffer: buf}
+}
+
+// TestCodecRoundTripAllocBudget pins the pooled codec path's budget: an
+// encode/decode round trip over reused buffers must stay within 2
+// allocations per operation. At steady state it is zero — the encode
+// buffer and descriptor scratch are caller-owned and every address is
+// interned — and the budget leaves headroom only for map-internal noise.
+// A regression here (say, a decode path reverting to per-address string
+// allocation) jumps the count by an order of magnitude.
+func TestCodecRoundTripAllocBudget(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	req := allocBudgetRequest()
+	var dec Decoder
+	var encBuf []byte
+	roundTrip := func() {
+		frame, err := AppendRequest(encBuf[:0], req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encBuf = frame
+		if _, _, _, err := dec.Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip() // grow the buffers and populate the interner
+	if got := testing.AllocsPerRun(100, roundTrip); got > 2 {
+		t.Errorf("pooled codec round trip allocates %.1f times, budget is 2", got)
+	}
+}
+
+// TestFabricExchangeAllocBudget pins the in-memory fabric's exchange at
+// its current 2 allocations: the defensive request and response buffer
+// copies at the endpoint boundary, which give every handler and caller
+// an owned message. Anything above 2 means a new allocation crept into
+// the hot path shared by all in-process experiments.
+func TestFabricExchangeAllocBudget(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	f := NewFabric()
+	handler := func(req Request) (Response, bool) {
+		return Response{From: "b", Buffer: req.Buffer}, req.WantReply
+	}
+	a, err := f.Endpoint("a", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Endpoint("b", handler); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{From: "a", WantReply: true,
+		Buffer: []Descriptor{{Addr: "x", Hop: 1}}}
+	ctx := context.Background()
+	exchange := func() {
+		if _, _, err := a.Exchange(ctx, "b", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exchange()
+	if got := testing.AllocsPerRun(100, exchange); got > 2 {
+		t.Errorf("fabric exchange allocates %.1f times, budget is 2", got)
+	}
+}

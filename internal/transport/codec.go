@@ -36,21 +36,35 @@ const (
 	MaxFrameSize = 1 << 22
 )
 
-// EncodeRequest serialises a request.
+// EncodeRequest serialises a request into a fresh buffer. Hot paths that
+// own a reusable buffer should call AppendRequest instead.
 func EncodeRequest(req Request) ([]byte, error) {
+	return AppendRequest(nil, req)
+}
+
+// EncodeResponse serialises a response into a fresh buffer. Hot paths
+// that own a reusable buffer should call AppendResponse instead.
+func EncodeResponse(resp Response) ([]byte, error) {
+	return AppendResponse(nil, resp)
+}
+
+// AppendRequest appends the encoded request to dst and returns the
+// extended slice, allocating only when dst lacks capacity. dst may be nil.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	flags := byte(0)
 	if req.WantReply {
 		flags = 1
 	}
-	return encodeMessage(kindRequest, flags, req.From, req.Buffer)
+	return appendMessage(dst, kindRequest, flags, req.From, req.Buffer)
 }
 
-// EncodeResponse serialises a response.
-func EncodeResponse(resp Response) ([]byte, error) {
-	return encodeMessage(kindResponse, 0, resp.From, resp.Buffer)
+// AppendResponse appends the encoded response to dst and returns the
+// extended slice, allocating only when dst lacks capacity. dst may be nil.
+func AppendResponse(dst []byte, resp Response) ([]byte, error) {
+	return appendMessage(dst, kindResponse, 0, resp.From, resp.Buffer)
 }
 
-func encodeMessage(kind, flags byte, from string, buffer []core.Descriptor[string]) ([]byte, error) {
+func appendMessage(dst []byte, kind, flags byte, from string, buffer []core.Descriptor[string]) ([]byte, error) {
 	if len(from) > MaxAddrLen {
 		return nil, fmt.Errorf("transport: from address %d bytes exceeds limit %d", len(from), MaxAddrLen)
 	}
@@ -64,7 +78,12 @@ func encodeMessage(kind, flags byte, from string, buffer []core.Descriptor[strin
 		}
 		size += 2 + len(d.Addr) + 4
 	}
-	out := make([]byte, 0, size)
+	out := dst
+	if need := len(out) + size; cap(out) < need {
+		grown := make([]byte, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
 	out = append(out, codecMagic, kind, flags)
 	out = appendString(out, from)
 	out = binary.BigEndian.AppendUint16(out, uint16(len(buffer)))
@@ -82,9 +101,21 @@ func appendString(out []byte, s string) []byte {
 
 // DecodeMessage parses a frame produced by EncodeRequest or
 // EncodeResponse. Exactly one of req/resp is meaningful, selected by
-// isRequest.
+// isRequest. Every address is freshly allocated; hot paths should use
+// DecodeMessageInto (usually via a Decoder) to reuse descriptor storage
+// and intern repeated addresses.
 func DecodeMessage(frame []byte) (req Request, resp Response, isRequest bool, err error) {
-	r := reader{buf: frame}
+	return DecodeMessageInto(frame, nil, nil)
+}
+
+// DecodeMessageInto is DecodeMessage decoding into caller-owned storage:
+// when scratch is non-nil the descriptor buffer is built inside *scratch
+// (truncated first, grown as needed, and written back), so the returned
+// message aliases it and is only valid until the caller reuses the
+// scratch. A non-nil interner deduplicates address strings across calls;
+// it must not be shared between goroutines without external locking.
+func DecodeMessageInto(frame []byte, scratch *[]Descriptor, intern *Interner) (req Request, resp Response, isRequest bool, err error) {
+	r := reader{buf: frame, intern: intern}
 	magic, err := r.byte()
 	if err != nil {
 		return req, resp, false, err
@@ -111,7 +142,12 @@ func DecodeMessage(frame []byte) (req Request, resp Response, isRequest bool, er
 	if count > MaxDescriptors {
 		return req, resp, false, fmt.Errorf("transport: descriptor count %d exceeds limit", count)
 	}
-	buffer := make([]core.Descriptor[string], 0, count)
+	var buffer []core.Descriptor[string]
+	if scratch != nil {
+		buffer = (*scratch)[:0]
+	} else {
+		buffer = make([]core.Descriptor[string], 0, count)
+	}
 	for i := 0; i < int(count); i++ {
 		addr, err := r.str()
 		if err != nil {
@@ -123,23 +159,85 @@ func DecodeMessage(frame []byte) (req Request, resp Response, isRequest bool, er
 		}
 		buffer = append(buffer, core.Descriptor[string]{Addr: addr, Hop: int32(hop)})
 	}
+	if scratch != nil {
+		*scratch = buffer
+	}
 	if r.rem() != 0 {
 		return req, resp, false, fmt.Errorf("transport: %d trailing bytes", r.rem())
 	}
 	switch kind {
 	case kindRequest:
+		if flags&^1 != 0 {
+			// Unknown flag bits mean a newer (or corrupt) peer; rejecting
+			// keeps the format canonical — every accepted frame re-encodes
+			// byte-identically.
+			return req, resp, false, fmt.Errorf("transport: unknown request flags 0x%02X", flags)
+		}
 		return Request{From: from, Buffer: buffer, WantReply: flags&1 != 0}, resp, true, nil
 	case kindResponse:
+		if flags != 0 {
+			return req, resp, false, fmt.Errorf("transport: unknown response flags 0x%02X", flags)
+		}
 		return req, Response{From: from, Buffer: buffer}, false, nil
 	default:
 		return req, resp, false, fmt.Errorf("transport: unknown message kind %d", kind)
 	}
 }
 
+// Interner deduplicates address strings decoded from the wire. Gossip
+// traffic names the same few hundred peers over and over, so interning
+// turns the per-descriptor string allocation — the dominant decode cost —
+// into a map lookup at steady state. The table is bounded: once maxInternEntries
+// distinct addresses have been seen it is reset rather than grown, which
+// caps what a hostile peer streaming random addresses can pin in memory.
+// An Interner is not safe for concurrent use; give each connection,
+// serve loop or pooled decoder its own.
+type Interner struct {
+	m map[string]string
+}
+
+// maxInternEntries bounds one Interner's table. At MaxAddrLen per entry
+// this caps the table at ~2MB, far below what a single hostile
+// connection could otherwise accumulate.
+const maxInternEntries = 4096
+
+// Intern returns a string equal to b, reusing a previously returned
+// instance when one exists.
+func (in *Interner) Intern(b []byte) string {
+	// The map index with a string(b) conversion does not allocate; only a
+	// genuinely new address pays for its string.
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	if in.m == nil || len(in.m) >= maxInternEntries {
+		in.m = make(map[string]string, 64)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
+// Decoder bundles the caller-owned decode state of the pooled codec path:
+// a reusable descriptor buffer and an address interner. The zero value is
+// ready to use. Messages returned by Decode alias the decoder's buffer
+// and are only valid until the next Decode call; a Decoder is not safe
+// for concurrent use.
+type Decoder struct {
+	scratch []Descriptor
+	intern  Interner
+}
+
+// Decode parses a frame like DecodeMessage, reusing the decoder's
+// descriptor buffer and interned addresses.
+func (d *Decoder) Decode(frame []byte) (req Request, resp Response, isRequest bool, err error) {
+	return DecodeMessageInto(frame, &d.scratch, &d.intern)
+}
+
 // reader is a bounds-checked cursor over a frame.
 type reader struct {
-	buf []byte
-	pos int
+	buf    []byte
+	pos    int
+	intern *Interner
 }
 
 func (r *reader) rem() int { return len(r.buf) - r.pos }
@@ -182,7 +280,10 @@ func (r *reader) str() (string, error) {
 	if r.rem() < int(n) {
 		return "", io.ErrUnexpectedEOF
 	}
-	s := string(r.buf[r.pos : r.pos+int(n)])
+	raw := r.buf[r.pos : r.pos+int(n)]
 	r.pos += int(n)
-	return s, nil
+	if r.intern != nil {
+		return r.intern.Intern(raw), nil
+	}
+	return string(raw), nil
 }

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeeds returns hand-built hostile frames seeding both fuzz targets:
+// valid messages, truncations, bad magic, lying length fields and
+// oversized counts. The fuzzer mutates outward from these.
+func fuzzSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	req, err := EncodeRequest(Request{
+		From:      "10.0.0.1:9000",
+		WantReply: true,
+		Buffer: []Descriptor{
+			{Addr: "10.0.0.2:9000", Hop: 0},
+			{Addr: "10.0.0.3:9000", Hop: 7},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := EncodeResponse(Response{
+		From:   "peer-a",
+		Buffer: []Descriptor{{Addr: "peer-b", Hop: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := [][]byte{
+		req,
+		resp,
+		req[:len(req)-1],         // truncated mid-descriptor
+		req[:3],                  // header only
+		{},                       // empty frame
+		{0x00, kindRequest, 0},   // bad magic
+		{codecMagic, 9, 0, 0, 0}, // unknown kind
+	}
+	// Descriptor count far beyond what the frame carries.
+	overCount := append([]byte(nil), resp...)
+	binary.BigEndian.PutUint16(overCount[3+2+6:], MaxDescriptors+1)
+	seeds = append(seeds, overCount)
+	// String length field pointing past the end of the frame.
+	lyingStr := append([]byte(nil), resp...)
+	binary.BigEndian.PutUint16(lyingStr[3:], 0xFFFF)
+	seeds = append(seeds, lyingStr)
+	// A count the frame cannot satisfy (claims 100, carries 1).
+	shortBuf := append([]byte(nil), resp...)
+	binary.BigEndian.PutUint16(shortBuf[3+2+6:], 100)
+	return append(seeds, shortBuf)
+}
+
+// FuzzDecodeMessage throws arbitrary frames at the decoder. The decoder
+// must never panic; on accepted frames the message must re-encode into
+// exactly the input (the format is canonical: one valid encoding per
+// message), and the pooled decode path must agree with the allocating one.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	var dec Decoder
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		req, resp, isReq, err := DecodeMessage(frame)
+		preq, presp, pisReq, perr := dec.Decode(frame)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("pooled decode disagrees on error: %v vs %v", err, perr)
+		}
+		if err != nil {
+			return
+		}
+		if pisReq != isReq {
+			t.Fatal("pooled decode disagrees on message kind")
+		}
+		var reencoded []byte
+		if isReq {
+			if preq.From != req.From || preq.WantReply != req.WantReply || !equalDescs(preq.Buffer, req.Buffer) {
+				t.Fatalf("pooled request decode diverges: %+v vs %+v", preq, req)
+			}
+			reencoded, err = EncodeRequest(req)
+		} else {
+			if presp.From != resp.From || !equalDescs(presp.Buffer, resp.Buffer) {
+				t.Fatalf("pooled response decode diverges: %+v vs %+v", presp, resp)
+			}
+			reencoded, err = EncodeResponse(resp)
+		}
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reencoded, frame) {
+			t.Fatalf("re-encoding differs from accepted frame:\n in: %x\nout: %x", frame, reencoded)
+		}
+	})
+}
+
+// FuzzCodecRoundTrip builds messages from fuzzed parts and checks
+// encode/decode is lossless. Addresses are carved out of raw fuzz bytes,
+// so they cover non-UTF-8, embedded NULs and length extremes.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add("node-1", true, []byte("peerApeerBpeerC"), uint8(5), int32(3))
+	f.Add("", false, []byte{}, uint8(0), int32(0))
+	f.Add("x", true, bytes.Repeat([]byte{0}, 1024), uint8(255), int32(-1))
+	f.Fuzz(func(t *testing.T, from string, wantReply bool, addrBytes []byte, chunk uint8, hop int32) {
+		// Slice addrBytes into chunk-sized addresses (chunk 0 → no buffer).
+		var buffer []Descriptor
+		if chunk > 0 {
+			for off := 0; off < len(addrBytes); off += int(chunk) {
+				end := off + int(chunk)
+				if end > len(addrBytes) {
+					end = len(addrBytes)
+				}
+				buffer = append(buffer, Descriptor{Addr: string(addrBytes[off:end]), Hop: hop + int32(off)})
+			}
+		}
+		req := Request{From: from, WantReply: wantReply, Buffer: buffer}
+		frame, err := EncodeRequest(req)
+		if err != nil {
+			// Only over-limit inputs may be rejected, and the limits are
+			// part of the contract — verify the rejection is justified.
+			if len(from) <= MaxAddrLen && len(buffer) <= MaxDescriptors {
+				for _, d := range buffer {
+					if len(d.Addr) > MaxAddrLen {
+						return
+					}
+				}
+				t.Fatalf("in-limit request rejected: %v", err)
+			}
+			return
+		}
+		got, _, isReq, err := DecodeMessage(frame)
+		if err != nil || !isReq {
+			t.Fatalf("round trip decode failed: isReq=%v err=%v", isReq, err)
+		}
+		if got.From != req.From || got.WantReply != req.WantReply || !equalDescs(got.Buffer, req.Buffer) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, req)
+		}
+	})
+}
+
+func equalDescs(a, b []Descriptor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

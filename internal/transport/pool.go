@@ -164,10 +164,13 @@ func (t *PooledTCP) serveConn(conn net.Conn) {
 // closed by the peer's idle timer, and gossip view merges tolerate the
 // rare duplicate delivery this can cause.
 func (t *PooledTCP) Exchange(ctx context.Context, addr string, req Request) (Response, bool, error) {
-	frame, err := EncodeRequest(req)
+	framep := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(framep)
+	frame, err := appendRequestFrame((*framep)[:0], req)
 	if err != nil {
 		return Response{}, false, err
 	}
+	*framep = frame[:0]
 	deadline, hasDeadline := ctx.Deadline()
 	if !hasDeadline {
 		deadline = time.Now().Add(tcpDefaultTimeout)

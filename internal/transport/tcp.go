@@ -99,14 +99,25 @@ func (t *TCP) handleConn(conn net.Conn) {
 	servePersistent(conn, t.handler, &t.stats, t.reg, &t.limits)
 }
 
+// connScratch is the per-connection reusable state of the pooled codec
+// path: the frame read buffer, the decoder (descriptor scratch plus
+// address interner) and the response encode buffer. One goroutine serves
+// one connection, so none of it needs locking.
+type connScratch struct {
+	readBuf []byte
+	outBuf  []byte
+	dec     Decoder
+}
+
 // handleFrame is the shared passive side of the TCP transports: decode a
 // request frame, run the handler, and write the response frame when the
 // request pulls one. keep reports whether the stream is still in sync
 // (false means the connection must be torn down); pulled reports whether
 // the frame was a pull (WantReply) exchange, which upgrades the
-// connection's keep-alive budget.
-func handleFrame(conn net.Conn, frame []byte, h Handler, stats *counters) (keep, pulled bool) {
-	req, _, isReq, err := DecodeMessage(frame)
+// connection's keep-alive budget. The decoded request and the encoded
+// response both live in cs, reused frame after frame.
+func handleFrame(conn net.Conn, frame []byte, h Handler, stats *counters, cs *connScratch) (keep, pulled bool) {
+	req, _, isReq, err := cs.dec.Decode(frame)
 	if err != nil || !isReq {
 		stats.dropped.Add(1)
 		return false, false // a corrupt stream cannot be resynchronised
@@ -118,38 +129,82 @@ func handleFrame(conn net.Conn, frame []byte, h Handler, stats *counters) (keep,
 	if !ok || !req.WantReply {
 		return true, req.WantReply
 	}
-	out, err := EncodeResponse(resp)
+	out, err := appendResponseFrame(cs.outBuf[:0], resp)
 	if err != nil {
 		return false, true
 	}
-	if writeFrame(conn, out) != nil {
+	cs.outBuf = out
+	if _, err := conn.Write(out); err != nil {
 		return false, true
 	}
-	stats.noteWrite(len(out) + frameHeaderSize)
+	stats.noteWrite(len(out))
 	return true, true
 }
 
+// frameBufs pools length-prefixed frame buffers for the encode and read
+// sides of the active exchange path.
+var frameBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// respDecoders pools decoders for active-side response frames. The
+// interner inside each pooled decoder warms up independently; strings it
+// hands out are immutable and safely outlive the pooled decoder's reuse.
+var respDecoders = sync.Pool{New: func() any { return new(Decoder) }}
+
+// appendRequestFrame appends the length-prefixed encoding of req to dst.
+func appendRequestFrame(dst []byte, req Request) ([]byte, error) {
+	start := len(dst)
+	out, err := AppendRequest(append(dst, 0, 0, 0, 0), req)
+	return finishFrame(out, start, err)
+}
+
+// appendResponseFrame appends the length-prefixed encoding of resp to dst.
+func appendResponseFrame(dst []byte, resp Response) ([]byte, error) {
+	start := len(dst)
+	out, err := AppendResponse(append(dst, 0, 0, 0, 0), resp)
+	return finishFrame(out, start, err)
+}
+
+// finishFrame fills in the length prefix reserved by the append helpers.
+func finishFrame(frame []byte, start int, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(frame[start:], uint32(len(frame)-start-frameHeaderSize))
+	return frame, nil
+}
+
 // exchangeFrames is the shared active side of the TCP transports: write
-// the encoded request frame over conn and, when wantReply is set, read
-// and decode the response frame. The caller owns conn's lifecycle and
-// deadlines.
+// the length-prefixed request frame over conn and, when wantReply is set,
+// read and decode the response frame. The caller owns conn's lifecycle
+// and deadlines. The returned response owns its buffer; the read and
+// decode scratch is pooled.
 func exchangeFrames(conn net.Conn, frame []byte, wantReply bool, addr string, stats *counters) (Response, bool, error) {
-	if err := writeFrame(conn, frame); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
-	stats.noteWrite(len(frame) + frameHeaderSize)
+	stats.noteWrite(len(frame))
 	if !wantReply {
 		return Response{}, false, nil
 	}
-	respFrame, err := readFrame(conn)
+	bufp := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(bufp)
+	respFrame, err := readFrameInto(conn, (*bufp)[:0])
 	if err != nil {
 		if errors.Is(err, errFrameTooLarge) {
 			stats.dropped.Add(1)
 		}
 		return Response{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
+	*bufp = respFrame[:0]
 	stats.noteRead(len(respFrame) + frameHeaderSize)
-	_, resp, isReq, err := DecodeMessage(respFrame)
+	dec := respDecoders.Get().(*Decoder)
+	defer respDecoders.Put(dec)
+	_, resp, isReq, err := dec.Decode(respFrame)
 	if err != nil {
 		stats.dropped.Add(1)
 		return Response{}, false, err
@@ -158,6 +213,9 @@ func exchangeFrames(conn net.Conn, frame []byte, wantReply bool, addr string, st
 		stats.dropped.Add(1)
 		return Response{}, false, errors.New("transport: peer answered with a request frame")
 	}
+	// The decoded buffer aliases the pooled decoder; hand the caller an
+	// owned copy (the addresses are interned and cost nothing to share).
+	resp.Buffer = append([]Descriptor(nil), resp.Buffer...)
 	return resp, true, nil
 }
 
@@ -169,10 +227,13 @@ func (t *TCP) Exchange(ctx context.Context, addr string, req Request) (Response,
 	if closed {
 		return Response{}, false, ErrClosed
 	}
-	frame, err := EncodeRequest(req)
+	framep := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(framep)
+	frame, err := appendRequestFrame((*framep)[:0], req)
 	if err != nil {
 		return Response{}, false, err
 	}
+	*framep = frame[:0]
 	deadline, hasDeadline := ctx.Deadline()
 	if !hasDeadline {
 		deadline = time.Now().Add(tcpDefaultTimeout)
@@ -270,10 +331,14 @@ func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistr
 		conn.Close()
 		reg.remove(conn)
 	}()
+	// The connection's codec scratch: frames are read, decoded and
+	// answered through these reusable buffers, so a steady gossip stream
+	// costs no per-frame allocations.
+	var cs connScratch
 	first, pulled := true, false
 	for {
 		_ = conn.SetDeadline(time.Now().Add(box.load().budget(first, pulled)))
-		frame, err := readFrame(conn)
+		frame, err := readFrameInto(conn, cs.readBuf[:0])
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
@@ -283,9 +348,10 @@ func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistr
 			}
 			return
 		}
+		cs.readBuf = frame
 		first = false
 		stats.noteRead(len(frame) + frameHeaderSize)
-		keep, didPull := handleFrame(conn, frame, h, stats)
+		keep, didPull := handleFrame(conn, frame, h, stats, &cs)
 		pulled = pulled || didPull
 		if !keep {
 			return
@@ -296,7 +362,10 @@ func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistr
 // frameHeaderSize is the length prefix preceding every TCP frame.
 const frameHeaderSize = 4
 
-// writeFrame writes a u32 length prefix followed by the payload.
+// writeFrame writes a u32 length prefix followed by the payload. The hot
+// paths encode the prefix and payload into one buffer instead (see
+// appendRequestFrame) to issue a single write; this helper remains for
+// tests and callers that already hold a bare payload.
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -313,6 +382,13 @@ var errFrameTooLarge = errors.New("transport: frame exceeds size limit")
 
 // readFrame reads one length-prefixed frame, rejecting oversized payloads.
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto is readFrame reading the payload into buf (truncated
+// first, grown only when the frame exceeds its capacity). The returned
+// slice aliases buf's backing array whenever it fits.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -321,7 +397,12 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", errFrameTooLarge, n)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}

@@ -21,6 +21,13 @@ type Descriptor = core.Descriptor[string]
 // Handler processes one incoming exchange request on the passive side and
 // returns the response to send back, if any. Implementations must be safe
 // for concurrent use.
+//
+// Buffer ownership: req.Buffer belongs to the transport and is only valid
+// for the duration of the call — the pooled codec path reuses its backing
+// storage for the next frame. Handlers that retain descriptors must copy
+// them; merging into a view (which copies survivors) is safe, as is
+// echoing the buffer in the returned response, which every transport
+// encodes before reusing the request's storage.
 type Handler func(req Request) (resp Response, ok bool)
 
 // Transport lets a node exchange gossip messages with peers and receive

@@ -58,6 +58,19 @@ var datagramBufs = sync.Pool{
 	},
 }
 
+// udpRequests recycles the decode state of incoming datagrams. A request
+// is decoded synchronously on the serve loop but handled on its own
+// goroutine, so each in-flight request owns its state until the handler
+// goroutine returns it; the pool bounds steady-state allocation at zero
+// without sharing scratch across concurrent handlers.
+var udpRequests = sync.Pool{New: func() any { return new(udpRequest) }}
+
+type udpRequest struct {
+	descs  []Descriptor
+	intern Interner
+	outBuf []byte // response encode buffer, reused with the entry
+}
+
 // udpDefaultTimeout bounds an exchange awaiting a response datagram when
 // the caller's context has no earlier deadline. It is deliberately
 // shorter than the TCP timeout: with no connection to establish, a
@@ -127,34 +140,42 @@ func (t *UDP) serve() {
 			continue
 		}
 		t.stats.noteRead(n)
-		// Decode synchronously: the request owns its memory afterwards
-		// (addresses are copied into strings), so buf is free for the next
-		// datagram while the handler runs on its own goroutine.
-		req, _, isReq, err := DecodeMessage(buf[:n])
+		// Decode synchronously into a pooled request state: buf is free
+		// for the next datagram, while the decoded request travels to its
+		// handler goroutine owning its (pooled) descriptor storage.
+		ur := udpRequests.Get().(*udpRequest)
+		req, _, isReq, err := DecodeMessageInto(buf[:n], &ur.descs, &ur.intern)
 		if err != nil || !isReq {
+			udpRequests.Put(ur)
 			t.stats.dropped.Add(1)
 			continue
 		}
 		if !t.gate.tryAcquire() {
+			udpRequests.Put(ur)
 			continue // handler slots exhausted; counted as an accept reject
 		}
 		t.wg.Add(1)
-		go func(req Request, src *net.UDPAddr) {
+		go func(req Request, src *net.UDPAddr, ur *udpRequest) {
 			defer t.wg.Done()
 			defer t.gate.release()
-			t.handleDatagram(req, src)
-		}(req, src)
+			defer udpRequests.Put(ur)
+			t.handleDatagram(req, src, ur)
+		}(req, src, ur)
 	}
 }
 
 // handleDatagram runs the handler for one decoded request and writes the
-// response datagram when the request pulls one.
-func (t *UDP) handleDatagram(req Request, src *net.UDPAddr) {
+// response datagram when the request pulls one. ur owns the request's
+// descriptor storage and the response encode buffer.
+func (t *UDP) handleDatagram(req Request, src *net.UDPAddr, ur *udpRequest) {
 	resp, ok := t.handler(req)
 	if !ok || !req.WantReply {
 		return
 	}
-	out, err := EncodeResponse(resp)
+	out, err := AppendResponse(ur.outBuf[:0], resp)
+	if err == nil {
+		ur.outBuf = out
+	}
 	if err != nil || len(out) > MaxDatagramSize {
 		// The wire has no error frames, so an unencodable or
 		// oversized response can only be dropped and counted. This
@@ -182,10 +203,13 @@ func (t *UDP) Exchange(ctx context.Context, addr string, req Request) (Response,
 		return Response{}, false, ErrClosed
 	default:
 	}
-	frame, err := EncodeRequest(req)
+	framep := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(framep)
+	frame, err := AppendRequest((*framep)[:0], req)
 	if err != nil {
 		return Response{}, false, err
 	}
+	*framep = frame[:0]
 	if len(frame) > MaxDatagramSize {
 		return Response{}, false, fmt.Errorf("%w: %d bytes > %d", ErrOversized, len(frame), MaxDatagramSize)
 	}
@@ -222,7 +246,9 @@ func (t *UDP) Exchange(ctx context.Context, addr string, req Request) (Response,
 		return Response{}, false, fmt.Errorf("%w: response %d bytes", ErrOversized, n)
 	}
 	t.stats.noteRead(n)
-	_, resp, isReq, err := DecodeMessage((*buf)[:n])
+	dec := respDecoders.Get().(*Decoder)
+	defer respDecoders.Put(dec)
+	_, resp, isReq, err := dec.Decode((*buf)[:n])
 	if err != nil {
 		t.stats.dropped.Add(1)
 		return Response{}, false, err
@@ -231,6 +257,9 @@ func (t *UDP) Exchange(ctx context.Context, addr string, req Request) (Response,
 		t.stats.dropped.Add(1)
 		return Response{}, false, errors.New("transport: peer answered with a request frame")
 	}
+	// The decoded buffer aliases the pooled decoder; hand the caller an
+	// owned copy (the addresses are interned and cost nothing to share).
+	resp.Buffer = append([]Descriptor(nil), resp.Buffer...)
 	return resp, true, nil
 }
 

@@ -182,7 +182,7 @@ func TestUDPFailedResponseWriteCounted(t *testing.T) {
 	// The server socket is bound to IPv4 loopback; a non-mappable IPv6
 	// destination makes WriteToUDP fail deterministically.
 	badSrc := &net.UDPAddr{IP: net.ParseIP("fd00::1"), Port: 9}
-	server.handleDatagram(Request{From: "client", WantReply: true}, badSrc)
+	server.handleDatagram(Request{From: "client", WantReply: true}, badSrc, new(udpRequest))
 
 	after := server.TransportStats()
 	if got := after.DatagramsDropped - before.DatagramsDropped; got != 1 {
@@ -198,7 +198,7 @@ func TestUDPFailedResponseWriteCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sink.Close()
-	server.handleDatagram(Request{From: "client", WantReply: true}, sink.LocalAddr().(*net.UDPAddr))
+	server.handleDatagram(Request{From: "client", WantReply: true}, sink.LocalAddr().(*net.UDPAddr), new(udpRequest))
 	final := server.TransportStats()
 	if final.DatagramsDropped != after.DatagramsDropped {
 		t.Errorf("successful write counted as dropped")

@@ -1,29 +1,74 @@
 #!/bin/sh
-# Run the wire-level exchange microbenchmarks and emit a machine-readable
-# summary as BENCH_pr6.json in the repository root: one entry per
-# benchmark with ns/op, B/op and allocs/op. The JSON is the artifact a
+# Run the performance benchmark suite and emit a machine-readable summary
+# (default BENCH_pr7.json) in the repository root: one entry per
+# benchmark with ns/op, B/op and allocs/op. The JSON is the artifact the
 # perf-tracking job diffs between PRs; the raw `go test -bench` output is
-# kept next to it for humans. Run from the repository root; pass extra
-# benchmark names as $1 to widen the sweep (regexp, default exchange +
-# codec benchmarks).
+# kept next to it for humans.
+#
+# The suite runs in two passes: the exchange/codec/cycle microbenchmarks
+# at a timed -benchtime, and the million-node cycle benchmarks at
+# -benchtime=1x (one cycle is seconds and advances the shared population
+# state, so iteration counts would not converge anyway). Both passes land
+# in the same JSON.
+#
+# Usage (from the repository root):
+#   scripts/bench.sh [-out FILE] [-compare BASE.json] [pattern]
+#
+#   -out FILE       write the summary to FILE (default BENCH_pr7.json)
+#   -compare BASE   after writing, compare against the baseline JSON and
+#                   exit non-zero when any benchmark present in both
+#                   files regressed by more than 25% in ns_per_op or
+#                   allocs_per_op. Benchmarks missing from the baseline
+#                   are reported as new and skipped. The allocs gate is
+#                   exact machinery; the ns gate assumes base and current
+#                   ran on comparable hardware. BENCH_NS_SLACK (percent,
+#                   default 25) widens the ns tolerance for noisy or
+#                   heterogeneous runners.
+#   pattern         widen/narrow the timed pass (regexp, default
+#                   exchange + codec + cycle benchmarks)
 set -eu
 
-pattern="${1:-Exchange|CodecRoundTrip}"
-out="BENCH_pr6.json"
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT INT TERM
+out="BENCH_pr7.json"
+base=""
+pattern="Exchange|CodecRoundTrip|ShardedCycle"
+million_pattern="MillionCycle"
 
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -out)
+        out="$2"
+        shift 2
+        ;;
+    -compare)
+        base="$2"
+        shift 2
+        ;;
+    *)
+        pattern="$1"
+        shift
+        ;;
+    esac
+done
+
+raw=$(mktemp)
+raw_million=$(mktemp)
+trap 'rm -f "$raw" "$raw_million"' EXIT INT TERM
+
+# A 1x pass first as a cheap correctness gate, so a broken benchmark
+# fails fast, not 10 minutes in.
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=1x -count=1 . >"$raw" 2>&1 || {
     echo "benchmarks failed:" >&2
     cat "$raw" >&2
     exit 1
 }
-# A second timed pass for the numbers that matter; the 1x pass above is a
-# cheap correctness gate so a broken benchmark fails fast, not 10 minutes
-# in.
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=100x -count=1 . >"$raw" 2>&1 || {
     echo "benchmarks failed:" >&2
     cat "$raw" >&2
+    exit 1
+}
+go test -run '^$' -bench "$million_pattern" -benchmem -benchtime=1x -count=1 -timeout=30m . >"$raw_million" 2>&1 || {
+    echo "million-node benchmarks failed:" >&2
+    cat "$raw_million" >&2
     exit 1
 }
 
@@ -49,7 +94,61 @@ END {
     }
     printf "[\n%s\n]\n", entries > out
 }
-' "$raw"
+' "$raw" "$raw_million"
 
 echo "wrote $out:"
 cat "$out"
+
+[ -n "$base" ] || exit 0
+
+if [ ! -f "$base" ]; then
+    echo "baseline $base not found, skipping comparison" >&2
+    exit 0
+fi
+
+# Regression gate: flatten both JSONs to "name metric value" lines (the
+# files are produced by the awk above, one object per line) and compare.
+ns_slack="${BENCH_NS_SLACK:-25}"
+flatten() {
+    tr -d ' "' <"$1" | awk -F'[{},:]+' '
+    /name/ {
+        name = ""; ns = ""; allocs = ""
+        for (i = 1; i < NF; i++) {
+            if ($i == "name") name = $(i + 1)
+            else if ($i == "ns_per_op") ns = $(i + 1)
+            else if ($i == "allocs_per_op") allocs = $(i + 1)
+        }
+        if (name != "") print name, ns, allocs
+    }'
+}
+
+flatten "$base" >"$raw"
+flatten "$out" >"$raw_million"
+
+awk -v ns_slack="$ns_slack" '
+NR == FNR { base_ns[$1] = $2; base_allocs[$1] = $3; next }
+{
+    if (!($1 in base_ns)) {
+        printf "  new      %-40s (no baseline entry, skipped)\n", $1
+        next
+    }
+    fail = 0
+    if (base_ns[$1] != "null" && $2 != "null" && $2 + 0 > base_ns[$1] * (1 + ns_slack / 100)) {
+        printf "  REGRESSED %-40s ns/op %s -> %s (>%s%%)\n", $1, base_ns[$1], $2, ns_slack
+        fail = 1
+    }
+    if (base_allocs[$1] != "null" && $3 != "null" && $3 + 0 > base_allocs[$1] * 1.25) {
+        printf "  REGRESSED %-40s allocs/op %s -> %s (>25%%)\n", $1, base_allocs[$1], $3
+        fail = 1
+    }
+    if (!fail) printf "  ok       %-40s ns/op %s -> %s, allocs/op %s -> %s\n", $1, base_ns[$1], $2, base_allocs[$1], $3
+    failures += fail
+}
+END {
+    if (failures > 0) {
+        printf "%d benchmark(s) regressed beyond tolerance vs %s\n", failures, ARGV[1] > "/dev/stderr"
+        exit 1
+    }
+}
+' "$raw" "$raw_million"
+echo "no regressions vs $base"
