@@ -4,12 +4,19 @@ import (
 	"math"
 	"testing"
 
+	"peersampling/internal/app"
 	"peersampling/internal/core"
 	"peersampling/internal/graph"
 	"peersampling/internal/sim"
 
 	"math/rand/v2"
 )
+
+// uniform and overlaySrc build the peer sources on this workload's
+// historical RNG stream.
+func uniform(n int, seed uint64) *app.Uniform { return app.NewUniform(n, seed, UniformSalt) }
+
+func overlaySrc(w *sim.Network) *app.Overlay { return app.NewOverlay(w) }
 
 func newOverlay(t *testing.T, n, c int, warmup int) *sim.Network {
 	t.Helper()
@@ -38,7 +45,7 @@ func linearValues(n int) []float64 {
 }
 
 func TestRunValidation(t *testing.T) {
-	src := NewUniformSource(10, 1)
+	src := uniform(10, 1)
 	if _, err := Run(linearValues(5), Config{Rounds: 3}, src); err == nil {
 		t.Error("length mismatch accepted")
 	}
@@ -50,7 +57,7 @@ func TestRunValidation(t *testing.T) {
 func TestMassConservationAndConvergence(t *testing.T) {
 	const n = 256
 	values := linearValues(n)
-	res, err := Run(values, Config{Rounds: 30, Seed: 2}, NewUniformSource(n, 3))
+	res, err := Run(values, Config{Rounds: 30, Seed: 2}, uniform(n, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +88,7 @@ func TestConvergenceRateNearTheory(t *testing.T) {
 	// per round (Jelasity-Montresor-Babaoglu analysis for this exchange
 	// pattern). Accept a generous band around it.
 	const n = 1024
-	res, err := Run(linearValues(n), Config{Rounds: 20, Seed: 4}, NewUniformSource(n, 5))
+	res, err := Run(linearValues(n), Config{Rounds: 20, Seed: 4}, uniform(n, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +101,7 @@ func TestConvergenceRateNearTheory(t *testing.T) {
 func TestOverlayAggregationConverges(t *testing.T) {
 	const n, c = 400, 15
 	w := newOverlay(t, n, c, 30)
-	res, err := Run(linearValues(n), Config{Rounds: 40, Seed: 6}, NewOverlaySource(w))
+	res, err := Run(linearValues(n), Config{Rounds: 40, Seed: 6}, overlaySrc(w))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +119,11 @@ func TestOverlayVsUniformRate(t *testing.T) {
 	// factor — the qualitative claim behind using gossip overlays at all.
 	const n, c = 400, 15
 	w := newOverlay(t, n, c, 30)
-	overlay, err := Run(linearValues(n), Config{Rounds: 20, Seed: 7}, NewOverlaySource(w))
+	overlay, err := Run(linearValues(n), Config{Rounds: 20, Seed: 7}, overlaySrc(w))
 	if err != nil {
 		t.Fatal(err)
 	}
-	uniform, err := Run(linearValues(n), Config{Rounds: 20, Seed: 7}, NewUniformSource(n, 8))
+	uniform, err := Run(linearValues(n), Config{Rounds: 20, Seed: 7}, uniform(n, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +137,7 @@ func TestSizeEstimation(t *testing.T) {
 	const n = 512
 	values := make([]float64, n)
 	values[0] = 1
-	res, err := Run(values, Config{Rounds: 40, Seed: 9}, NewUniformSource(n, 10))
+	res, err := Run(values, Config{Rounds: 40, Seed: 9}, uniform(n, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,12 +153,12 @@ func TestSizeEstimation(t *testing.T) {
 }
 
 func TestUniformSourceTiny(t *testing.T) {
-	src := NewUniformSource(1, 1)
-	if _, ok := src.PeerOf(0); ok {
+	src := uniform(1, 1)
+	if _, ok := src.For(0).Draw(); ok {
 		t.Error("single-node source returned a peer")
 	}
-	src2 := NewUniformSource(2, 1)
-	p, ok := src2.PeerOf(0)
+	src2 := uniform(2, 1)
+	p, ok := src2.For(0).Draw()
 	if !ok || p != 1 {
 		t.Errorf("two-node source returned %d,%v", p, ok)
 	}

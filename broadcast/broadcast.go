@@ -3,19 +3,31 @@
 // application class that motivates the paper (its reference [6, 9]
 // lineage: anti-entropy and rumor mongering).
 //
-// The engine is round-based: in every round each infected node picks
-// `fanout` peers from its peer source and infects them. Two peer sources
-// are provided: the ideal uniform sampler the literature assumes, and a
-// gossip overlay maintained by the peer sampling protocols — so the effect
-// of non-uniform sampling on dissemination can be measured directly.
+// The workload is an address-generic app.Engine: in every round each
+// infected node draws `fanout` peers from its peer source and pushes the
+// rumor to them through its endpoint. The same engine runs against the
+// cycle simulator (Run, with app.Uniform or app.Overlay as the source),
+// against a live runtime node (app.Runner over the transport's
+// app-payload frames), and inside the daemon's workload plugin — so the
+// effect of non-uniform sampling on dissemination can be measured both
+// in simulation and across real processes.
 package broadcast
 
 import (
 	"fmt"
-	"math/rand/v2"
+	"sync"
 
+	"peersampling/internal/app"
 	"peersampling/internal/sim"
 )
+
+// Topic is the app-payload stream the broadcast engine listens on.
+const Topic = "broadcast"
+
+// UniformSalt is the RNG stream of the uniform peer source historically
+// used by this workload; pass it to app.NewUniform to reproduce the
+// package's fixed-seed results.
+const UniformSalt = 0xB07
 
 // Mode selects the epidemic variant.
 type Mode uint8
@@ -41,19 +53,157 @@ func (m Mode) String() string {
 	}
 }
 
-// PeerSource provides gossip targets for a node. Implementations must
-// tolerate being asked for more peers than they can supply.
-type PeerSource interface {
-	// PeersOf returns up to fanout gossip targets for node id.
-	PeersOf(id int32, fanout int) []int32
-	// Size returns the number of nodes in the population.
-	Size() int
-	// Step advances the source by one round (e.g. runs a gossip cycle of
-	// the underlying overlay); the uniform source does nothing.
-	Step()
+// ParseMode maps a mode name (as printed by String) back to the Mode;
+// config files select the epidemic variant by name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "infect-forever":
+		return InfectForever, nil
+	case "infect-and-die":
+		return InfectAndDie, nil
+	default:
+		return 0, fmt.Errorf("broadcast: unknown mode %q", s)
+	}
 }
 
-// Config parameterises a dissemination run.
+// Engine is one node's view of an epidemic dissemination: it holds the
+// infection state and pushes the rumor to fanout peers per round. It is
+// safe for concurrent use — on a live node Tick and OnMessage run on
+// different goroutines.
+type Engine[A comparable] struct {
+	fanout int
+	mode   Mode
+	ttl    int
+
+	mu       sync.Mutex
+	infected bool
+	budget   int // remaining gossip rounds (InfectAndDie)
+	rumor    []byte
+	rounds   uint64
+	sent     uint64
+	received uint64
+	failures uint64
+}
+
+var _ app.Engine[sim.NodeID] = (*Engine[sim.NodeID])(nil)
+
+// NewEngine returns an uninfected engine. ttl is ignored for
+// InfectForever.
+func NewEngine[A comparable](fanout int, mode Mode, ttl int) (*Engine[A], error) {
+	if fanout <= 0 {
+		return nil, fmt.Errorf("broadcast: fanout must be positive, got %d", fanout)
+	}
+	if mode != InfectForever && mode != InfectAndDie {
+		return nil, fmt.Errorf("broadcast: invalid mode %d", mode)
+	}
+	if mode == InfectAndDie && ttl <= 0 {
+		return nil, fmt.Errorf("broadcast: infect-and-die needs TTL > 0, got %d", ttl)
+	}
+	return &Engine[A]{fanout: fanout, mode: mode, ttl: ttl}, nil
+}
+
+// Topic implements app.Engine.
+func (e *Engine[A]) Topic() string { return Topic }
+
+// Infect seeds the rumor locally (the dissemination source calls this
+// once). It reports false when the engine was already infected.
+func (e *Engine[A]) Infect(rumor []byte) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.infected {
+		return false
+	}
+	e.infected = true
+	e.budget = e.ttl
+	e.rumor = append([]byte(nil), rumor...)
+	return true
+}
+
+// Infected reports whether the engine holds the rumor.
+func (e *Engine[A]) Infected() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.infected
+}
+
+// Gossiping reports whether the engine will push the rumor on its next
+// round: infected and, for InfectAndDie, still holding gossip budget.
+func (e *Engine[A]) Gossiping() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.infected && (e.mode == InfectForever || e.budget > 0)
+}
+
+// Tick implements app.Engine: push the rumor to fanout drawn peers, then
+// spend one round of gossip budget.
+func (e *Engine[A]) Tick(src app.PeerSource[A], ep app.Endpoint[A]) {
+	e.mu.Lock()
+	e.rounds++
+	gossip := e.infected && (e.mode == InfectForever || e.budget > 0)
+	rumor := e.rumor // immutable after Infect; safe to share
+	e.mu.Unlock()
+	if !gossip {
+		return
+	}
+	self := ep.Self()
+	for i := 0; i < e.fanout; i++ {
+		peer, ok := src.Draw()
+		if !ok {
+			break // empty view: nothing to gossip to this round
+		}
+		if peer == self {
+			continue
+		}
+		_, _, err := ep.Deliver(peer, rumor, false)
+		e.mu.Lock()
+		if err != nil {
+			e.failures++
+		} else {
+			e.sent++
+		}
+		e.mu.Unlock()
+	}
+	if e.mode == InfectAndDie {
+		e.mu.Lock()
+		if e.budget > 0 {
+			e.budget--
+		}
+		e.mu.Unlock()
+	}
+}
+
+// OnMessage implements app.Engine: absorb the rumor, becoming infected
+// on first contact. Rumors are push-only; there is never a reply.
+func (e *Engine[A]) OnMessage(from A, payload []byte) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.received++
+	if !e.infected {
+		e.infected = true
+		e.budget = e.ttl
+		e.rumor = append([]byte(nil), payload...)
+	}
+	return nil, false
+}
+
+// Snapshot implements app.Engine.
+func (e *Engine[A]) Snapshot() app.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := app.Snapshot{
+		Workload: Topic,
+		Rounds:   e.rounds,
+		Sent:     e.sent,
+		Received: e.received,
+		Failures: e.failures,
+	}
+	if e.infected {
+		s.Infected = 1
+	}
+	return s
+}
+
+// Config parameterises a simulated dissemination run.
 type Config struct {
 	// Fanout is the number of peers an infected node gossips to per
 	// round.
@@ -67,7 +217,7 @@ type Config struct {
 	// O(log N) rounds.
 	MaxRounds int
 	// Source is the node where the rumor starts.
-	Source int32
+	Source sim.NodeID
 	// Seed drives all randomness of the run.
 	Seed uint64
 }
@@ -112,53 +262,66 @@ func (r Result) Coverage() float64 {
 	return float64(last) / float64(last+r.NeverReached)
 }
 
-// Run executes one epidemic dissemination over the given peer source.
-func Run(cfg Config, src PeerSource) (Result, error) {
+// simEndpoint is the simulation backend of app.Endpoint: delivery is a
+// synchronous call into the destination engine, and the endpoint records
+// the infections each delivery causes so the driver can maintain the
+// active set exactly as the historical sequential implementation did.
+type simEndpoint struct {
+	engines []*Engine[sim.NodeID]
+	self    sim.NodeID
+	newly   []sim.NodeID
+}
+
+func (ep *simEndpoint) Self() sim.NodeID { return ep.self }
+
+func (ep *simEndpoint) Deliver(peer sim.NodeID, payload []byte, wantReply bool) ([]byte, bool, error) {
+	if peer < 0 || int(peer) >= len(ep.engines) {
+		return nil, false, nil
+	}
+	dst := ep.engines[peer]
+	was := dst.Infected()
+	reply, has := dst.OnMessage(ep.self, payload)
+	if !was && dst.Infected() {
+		ep.newly = append(ep.newly, peer)
+	}
+	return reply, has, nil
+}
+
+// Run executes one epidemic dissemination over the given peer source on
+// the simulator: one engine per node, synchronous delivery, the active
+// set advanced in the exact order of the historical implementation (so
+// fixed-seed results are unchanged).
+func Run(cfg Config, src app.Source[sim.NodeID]) (Result, error) {
 	n := src.Size()
 	if err := cfg.validate(n); err != nil {
 		return Result{}, err
 	}
-	infected := make([]bool, n)
-	infected[cfg.Source] = true
-	// remaining gossip rounds per node (InfectAndDie); -1 = forever.
-	budget := make([]int, n)
-	if cfg.Mode == InfectAndDie {
-		budget[cfg.Source] = cfg.TTL
-	} else {
-		for i := range budget {
-			budget[i] = -1
+	engines := make([]*Engine[sim.NodeID], n)
+	for i := range engines {
+		e, err := NewEngine[sim.NodeID](cfg.Fanout, cfg.Mode, cfg.TTL)
+		if err != nil {
+			return Result{}, err
 		}
+		engines[i] = e
 	}
+	engines[cfg.Source].Infect([]byte("rumor"))
 	count := 1
 	res := Result{InfectedPerRound: []int{count}, RoundsToAll: -1}
 
-	active := []int32{cfg.Source}
+	ep := &simEndpoint{engines: engines}
+	active := []sim.NodeID{cfg.Source}
 	for round := 1; round <= cfg.MaxRounds && count < n; round++ {
 		next := active[:0:len(active)] // fresh slice, reuse capacity
-		newlyInfected := []int32{}
+		ep.newly = ep.newly[:0]
 		for _, id := range active {
-			targets := src.PeersOf(id, cfg.Fanout)
-			for _, t := range targets {
-				if int(t) >= n || t < 0 || infected[t] {
-					continue
-				}
-				infected[t] = true
-				count++
-				if cfg.Mode == InfectAndDie {
-					budget[t] = cfg.TTL
-				}
-				newlyInfected = append(newlyInfected, t)
-			}
-			if cfg.Mode == InfectAndDie {
-				budget[id]--
-				if budget[id] > 0 {
-					next = append(next, id)
-				}
-			} else {
+			ep.self = id
+			engines[id].Tick(src.For(id), ep)
+			if engines[id].Gossiping() {
 				next = append(next, id)
 			}
 		}
-		active = append(next, newlyInfected...)
+		count += len(ep.newly)
+		active = append(next, ep.newly...)
 		res.InfectedPerRound = append(res.InfectedPerRound, count)
 		if count == n && res.RoundsToAll < 0 {
 			res.RoundsToAll = round
@@ -168,71 +331,3 @@ func Run(cfg Config, src PeerSource) (Result, error) {
 	res.NeverReached = n - count
 	return res, nil
 }
-
-// UniformSource is the idealised peer source the gossip literature
-// assumes: every call returns independent uniform random peers.
-type UniformSource struct {
-	n   int
-	rng *rand.Rand
-}
-
-var _ PeerSource = (*UniformSource)(nil)
-
-// NewUniformSource returns a uniform source over n nodes.
-func NewUniformSource(n int, seed uint64) *UniformSource {
-	return &UniformSource{n: n, rng: rand.New(rand.NewPCG(seed, 0xB07))}
-}
-
-// PeersOf implements PeerSource.
-func (u *UniformSource) PeersOf(id int32, fanout int) []int32 {
-	out := make([]int32, 0, fanout)
-	for len(out) < fanout {
-		p := int32(u.rng.IntN(u.n))
-		if p != id {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// Size implements PeerSource.
-func (u *UniformSource) Size() int { return u.n }
-
-// Step implements PeerSource (no-op).
-func (u *UniformSource) Step() {}
-
-// OverlaySource samples gossip targets from the live views of a peer
-// sampling simulation; every dissemination round advances the overlay by
-// one gossip cycle, so the application and the sampling layer evolve
-// together exactly as they would in a deployment.
-type OverlaySource struct {
-	net *sim.Network
-}
-
-var _ PeerSource = (*OverlaySource)(nil)
-
-// NewOverlaySource adapts a simulation (construct it with
-// peersampling.NewRandomOverlay or the scenario builders).
-func NewOverlaySource(net *sim.Network) *OverlaySource {
-	return &OverlaySource{net: net}
-}
-
-// PeersOf implements PeerSource: repeated getPeer() calls on the node's
-// current view.
-func (o *OverlaySource) PeersOf(id int32, fanout int) []int32 {
-	out := make([]int32, 0, fanout)
-	for i := 0; i < fanout; i++ {
-		p, err := o.net.SamplePeer(id)
-		if err != nil {
-			break // empty view: nothing to gossip to this round
-		}
-		out = append(out, p)
-	}
-	return out
-}
-
-// Size implements PeerSource.
-func (o *OverlaySource) Size() int { return o.net.Size() }
-
-// Step implements PeerSource: one gossip cycle of the overlay.
-func (o *OverlaySource) Step() { o.net.RunCycle() }

@@ -5,12 +5,19 @@ import (
 	"strings"
 	"testing"
 
+	"peersampling/internal/app"
 	"peersampling/internal/core"
 	"peersampling/internal/graph"
 	"peersampling/internal/sim"
 
 	"math/rand/v2"
 )
+
+// uniform and overlaySrc build the peer sources on this workload's
+// historical RNG stream.
+func uniform(n int, seed uint64) *app.Uniform { return app.NewUniform(n, seed, UniformSalt) }
+
+func overlaySrc(w *sim.Network) *app.Overlay { return app.NewOverlay(w) }
 
 func newOverlay(t *testing.T, n, c int, proto core.Protocol, warmup int) *sim.Network {
 	t.Helper()
@@ -40,7 +47,7 @@ func TestModeString(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	src := NewUniformSource(10, 1)
+	src := uniform(10, 1)
 	bad := []Config{
 		{Fanout: 0, Mode: InfectForever, MaxRounds: 5},
 		{Fanout: 1, Mode: 0, MaxRounds: 5},
@@ -58,7 +65,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestUniformDisseminationSaturates(t *testing.T) {
 	const n = 500
-	src := NewUniformSource(n, 2)
+	src := uniform(n, 2)
 	res, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 40, Seed: 3}, src)
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +92,7 @@ func TestInfectAndDieCanDieOut(t *testing.T) {
 	// TTL 1, fanout 1: the rumor dies out quickly with high probability
 	// in a large group; the engine must terminate and report partial
 	// coverage rather than loop.
-	src := NewUniformSource(2000, 4)
+	src := uniform(2000, 4)
 	res, err := Run(Config{Fanout: 1, Mode: InfectAndDie, TTL: 1, MaxRounds: 100, Seed: 5}, src)
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +109,7 @@ func TestInfectAndDieCanDieOut(t *testing.T) {
 }
 
 func TestInfectAndDieSaturatesWithBudget(t *testing.T) {
-	src := NewUniformSource(300, 6)
+	src := uniform(300, 6)
 	res, err := Run(Config{Fanout: 3, Mode: InfectAndDie, TTL: 5, MaxRounds: 60, Seed: 7}, src)
 	if err != nil {
 		t.Fatal(err)
@@ -116,12 +123,12 @@ func TestOverlayDisseminationMatchesUniformShape(t *testing.T) {
 	const n, c = 400, 15
 	w := newOverlay(t, n, c, core.Newscast, 30)
 	overlay, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 60, Seed: 8},
-		NewOverlaySource(w))
+		overlaySrc(w))
 	if err != nil {
 		t.Fatal(err)
 	}
 	uniform, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 60, Seed: 8},
-		NewUniformSource(n, 9))
+		uniform(n, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,15 +145,16 @@ func TestOverlayDisseminationMatchesUniformShape(t *testing.T) {
 
 func TestOverlaySourceBasics(t *testing.T) {
 	w := newOverlay(t, 50, 8, core.Newscast, 10)
-	src := NewOverlaySource(w)
+	src := overlaySrc(w)
 	if src.Size() != 50 {
 		t.Errorf("size = %d", src.Size())
 	}
-	peers := src.PeersOf(0, 3)
-	if len(peers) != 3 {
-		t.Errorf("got %d peers want 3", len(peers))
-	}
-	for _, p := range peers {
+	draw := src.For(0)
+	for i := 0; i < 3; i++ {
+		p, ok := draw.Draw()
+		if !ok {
+			t.Fatalf("draw %d failed on a warmed overlay", i)
+		}
 		if !w.Node(0).View().Contains(p) {
 			t.Errorf("peer %d not in node 0's view", p)
 		}
@@ -159,12 +167,15 @@ func TestOverlaySourceBasics(t *testing.T) {
 }
 
 func TestUniformSourceNeverReturnsSelf(t *testing.T) {
-	src := NewUniformSource(3, 11)
-	for i := 0; i < 300; i++ {
-		for _, p := range src.PeersOf(1, 2) {
-			if p == 1 {
-				t.Fatal("uniform source returned the asking node")
-			}
+	src := uniform(3, 11)
+	draw := src.For(1)
+	for i := 0; i < 600; i++ {
+		p, ok := draw.Draw()
+		if !ok {
+			t.Fatal("draw failed with three nodes")
+		}
+		if p == 1 {
+			t.Fatal("uniform source returned the asking node")
 		}
 	}
 }
@@ -174,7 +185,7 @@ func TestLogarithmicScaling(t *testing.T) {
 	// the population should add only a few rounds.
 	round := func(n int) int {
 		res, err := Run(Config{Fanout: 2, Mode: InfectForever, MaxRounds: 80, Seed: 13},
-			NewUniformSource(n, uint64(n)))
+			uniform(n, uint64(n)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,9 +13,12 @@
 // figure3, figure4, table2, figure5, figure6, figure7, exclusion,
 // uniformity, churn, ablation, plus the live extensions "bootstrap"
 // (single-contact cluster convergence), "hostile" (connection flood +
-// slowloris against a real cluster) and "livechurn" (kill and respawn
-// waves against the fleet) — the experiments whose numbers are
-// timing-dependent rather than seeded.
+// slowloris against a real cluster), "livechurn" (kill and respawn
+// waves against the fleet), "livebroadcast" (epidemic rumor spread over
+// the fleet's workload engines under a kill wave) and "liveaggregate"
+// (push-pull averaging variance decay and network size estimation) —
+// the experiments whose numbers are timing-dependent rather than
+// seeded. -list prints the full registry with each experiment's kind.
 //
 // The live experiments run on a fleet driver selected with -driver:
 // "inproc" (default) keeps every node a goroutine in this process;
@@ -63,6 +66,7 @@ func main() {
 // dump file close — runs on the failure paths too.
 func run() error {
 	var (
+		list      = flag.Bool("list", false, "print every experiment ID with its kind and description, then exit")
 		scaleName = flag.String("scale", "quick", "quick, medium or full")
 		runList   = flag.String("run", "all", "comma-separated experiment IDs, or all")
 		seed      = flag.Uint64("seed", 1, "master seed")
@@ -82,6 +86,10 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *list {
+		listExperiments()
+		return nil
+	}
 	if *metricsEvery <= 0 {
 		return fmt.Errorf("-metrics-interval must be positive, got %v", *metricsEvery)
 	}
@@ -184,4 +192,22 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// listExperiments prints the registry: ID, kind and title per line. The
+// kind says what runs underneath — "sim" for seeded cycle simulations,
+// "live" for experiments that only boot real clusters, "both" for live
+// experiments that also register a plain Run form (every current live
+// experiment does, via its default-environment adapter).
+func listExperiments() {
+	for _, def := range scenario.All() {
+		kind := "sim"
+		switch {
+		case def.Run != nil && def.RunLive != nil:
+			kind = "both"
+		case def.RunLive != nil:
+			kind = "live"
+		}
+		fmt.Printf("%-14s %-5s %s\n", def.ID, kind, def.Title)
+	}
 }

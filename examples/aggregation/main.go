@@ -32,7 +32,7 @@ func main() {
 		values[i] = float64(i % 100)
 	}
 	res, err := aggregate.Run(values, aggregate.Config{Rounds: rounds, Seed: 3},
-		aggregate.NewOverlaySource(overlay))
+		peersampling.NewOverlayPeers(overlay))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func main() {
 	sizeInit := make([]float64, n)
 	sizeInit[0] = 1
 	sres, err := aggregate.Run(sizeInit, aggregate.Config{Rounds: 40, Seed: 4},
-		aggregate.NewOverlaySource(overlay))
+		peersampling.NewOverlayPeers(overlay))
 	if err != nil {
 		log.Fatal(err)
 	}

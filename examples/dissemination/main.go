@@ -25,9 +25,9 @@ func main() {
 
 	sources := []struct {
 		name string
-		src  broadcast.PeerSource
+		src  peersampling.WorkloadSource
 	}{
-		{"uniform (ideal)", broadcast.NewUniformSource(n, 1)},
+		{"uniform (ideal)", peersampling.NewUniformPeers(n, 1, broadcast.UniformSalt)},
 		{"newscast overlay", overlaySource(n, viewSize, peersampling.Newscast(), warmup)},
 		{"lpbcast overlay", overlaySource(n, viewSize, peersampling.Lpbcast(), warmup)},
 	}
@@ -52,12 +52,12 @@ func main() {
 	}
 }
 
-func overlaySource(n, viewSize int, proto peersampling.Protocol, warmup int) broadcast.PeerSource {
+func overlaySource(n, viewSize int, proto peersampling.Protocol, warmup int) peersampling.WorkloadSource {
 	overlay := peersampling.NewRandomOverlay(peersampling.SimConfig{
 		Protocol: proto,
 		ViewSize: viewSize,
 		Seed:     7,
 	}, n)
 	overlay.Run(warmup)
-	return broadcast.NewOverlaySource(overlay)
+	return peersampling.NewOverlayPeers(overlay)
 }

@@ -1,0 +1,104 @@
+package app
+
+import (
+	"math/rand/v2"
+
+	"peersampling/internal/sim"
+)
+
+// Source is the simulation-side factory of per-node peer sources: one
+// population, For(id) views it from one node. Step advances the source by
+// one round (a gossip cycle of the underlying overlay; the uniform source
+// does nothing). It generalises the per-package UniformSource /
+// OverlaySource shims the workloads used to duplicate.
+type Source[A comparable] interface {
+	For(id A) PeerSource[A]
+	Size() int
+	Step()
+}
+
+// Uniform is the idealised peer source the gossip literature assumes:
+// every draw returns an independent uniform random peer. All nodes share
+// one RNG stream, so draws consume it in driver order — which keeps the
+// workloads' historical fixed-seed results intact (the salt selects the
+// per-workload stream the old shims used).
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+var _ Source[sim.NodeID] = (*Uniform)(nil)
+
+// NewUniform returns a uniform source over n nodes. The salt separates
+// RNG streams between workloads sharing a seed.
+func NewUniform(n int, seed, salt uint64) *Uniform {
+	return &Uniform{n: n, rng: rand.New(rand.NewPCG(seed, salt))}
+}
+
+// For implements Source.
+func (u *Uniform) For(id sim.NodeID) PeerSource[sim.NodeID] {
+	return uniformDraw{u: u, id: id}
+}
+
+// Size implements Source.
+func (u *Uniform) Size() int { return u.n }
+
+// Step implements Source (no-op).
+func (u *Uniform) Step() {}
+
+type uniformDraw struct {
+	u  *Uniform
+	id sim.NodeID
+}
+
+// Draw implements PeerSource: a uniform peer other than the node itself.
+func (d uniformDraw) Draw() (sim.NodeID, bool) {
+	if d.u.n < 2 {
+		return 0, false
+	}
+	for {
+		p := sim.NodeID(d.u.rng.IntN(d.u.n))
+		if p != d.id {
+			return p, true
+		}
+	}
+}
+
+// Overlay draws partners from the live views of a peer sampling
+// simulation; every workload round advances the overlay by one gossip
+// cycle, so the application and the sampling layer evolve together
+// exactly as they would in a deployment.
+type Overlay struct {
+	net *sim.Network
+}
+
+var _ Source[sim.NodeID] = (*Overlay)(nil)
+
+// NewOverlay adapts a simulation (construct it with
+// peersampling.NewRandomOverlay or the scenario builders).
+func NewOverlay(net *sim.Network) *Overlay { return &Overlay{net: net} }
+
+// For implements Source.
+func (o *Overlay) For(id sim.NodeID) PeerSource[sim.NodeID] {
+	return overlayDraw{net: o.net, id: id}
+}
+
+// Size implements Source.
+func (o *Overlay) Size() int { return o.net.Size() }
+
+// Step implements Source: one gossip cycle of the overlay.
+func (o *Overlay) Step() { o.net.RunCycle() }
+
+type overlayDraw struct {
+	net *sim.Network
+	id  sim.NodeID
+}
+
+// Draw implements PeerSource via the simulated getPeer().
+func (d overlayDraw) Draw() (sim.NodeID, bool) {
+	p, err := d.net.SamplePeer(d.id)
+	if err != nil {
+		return 0, false // empty view: nothing to gossip with this round
+	}
+	return p, true
+}

@@ -33,6 +33,9 @@ type Config struct {
 	Control ControlSection
 	// Gateway configures the light-client sampling API.
 	Gateway GatewaySection
+	// Workload runs a gossip application engine on top of the node's
+	// sampling service.
+	Workload WorkloadSection
 }
 
 // NodeSection configures the protocol instance (config keys under
@@ -124,6 +127,34 @@ type GatewaySection struct {
 	Burst int
 }
 
+// Workload kinds accepted by WorkloadSection.Kind.
+const (
+	WorkloadBroadcast = "broadcast"
+	WorkloadAggregate = "aggregate"
+)
+
+// WorkloadSection configures the gossip application engine riding the
+// node (config keys under "workload:"). The workload is enabled when
+// Kind is non-empty; its counters flow through the metrics pipeline
+// alongside the node's own.
+type WorkloadSection struct {
+	// Kind selects the engine: "broadcast" (epidemic dissemination) or
+	// "aggregate" (push-pull averaging). Empty disables the workload.
+	Kind string
+	// Period is the engine's round length; zero inherits node.period.
+	Period time.Duration
+	// Fanout is how many peers the broadcast engine pushes to per round.
+	Fanout int
+	// Mode selects the broadcast variant: "infect-forever" or
+	// "infect-and-die".
+	Mode string
+	// TTL is how many rounds an infect-and-die node gossips after
+	// infection.
+	TTL int
+	// Initial is the aggregate engine's starting value.
+	Initial float64
+}
+
 // Default returns the runnable baseline configuration: a loopback
 // tcp-pooled node with the paper's canonical protocol and no optional
 // plugins enabled. LoadFile and flag overlays start from this, so a
@@ -149,6 +180,11 @@ func Default() Config {
 			RateRPS:   5,
 			Burst:     10,
 		},
+		Workload: WorkloadSection{
+			Fanout: 2,
+			Mode:   "infect-forever",
+			TTL:    3,
+		},
 	}
 }
 
@@ -161,6 +197,10 @@ func (c Config) Protocol() (core.Protocol, error) {
 // GatewayEnabled reports whether the config asks for the sampling
 // gateway.
 func (c Config) GatewayEnabled() bool { return c.Gateway.Addr != "" }
+
+// WorkloadEnabled reports whether the config asks for a gossip workload
+// engine.
+func (c Config) WorkloadEnabled() bool { return c.Workload.Kind != "" }
 
 // Validate checks every field and returns the first violation as a
 // field-path error ("node.view_size: must be positive"). A validated
@@ -217,6 +257,42 @@ func (c Config) Validate() error {
 		if c.Gateway.Burst <= 0 {
 			return fmt.Errorf("gateway.burst: must be positive, got %d", c.Gateway.Burst)
 		}
+	}
+	if err := validateWorkload(c.Workload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateWorkload checks the workload section; a disabled workload
+// (empty kind) passes regardless of the other fields, so a template with
+// tuned knobs can flip the engine on and off with one key. The mode
+// names mirror broadcast.ParseMode — kept literal here so the config
+// schema does not depend on the workload packages.
+func validateWorkload(w WorkloadSection) error {
+	switch w.Kind {
+	case "":
+		return nil
+	case WorkloadBroadcast:
+		if w.Fanout <= 0 {
+			return fmt.Errorf("workload.fanout: must be positive, got %d", w.Fanout)
+		}
+		switch w.Mode {
+		case "infect-forever":
+		case "infect-and-die":
+			if w.TTL <= 0 {
+				return fmt.Errorf("workload.ttl: infect-and-die needs TTL > 0, got %d", w.TTL)
+			}
+		default:
+			return fmt.Errorf("workload.mode: unknown mode %q (want \"infect-forever\" or \"infect-and-die\")", w.Mode)
+		}
+	case WorkloadAggregate:
+		// Any initial value is legal, including zero.
+	default:
+		return fmt.Errorf("workload.kind: unknown workload %q (want %q or %q)", w.Kind, WorkloadBroadcast, WorkloadAggregate)
+	}
+	if w.Period < 0 {
+		return fmt.Errorf("workload.period: must not be negative, got %v", w.Period)
 	}
 	return nil
 }

@@ -96,6 +96,11 @@ func decodeDocument(doc map[string]any, cfg *Config) error {
 			return err
 		}
 	}
+	if wl := root.sub("workload"); wl != nil {
+		if err := decodeWorkload(wl, &cfg.Workload); err != nil {
+			return err
+		}
+	}
 	return root.finishAll()
 }
 
@@ -142,6 +147,17 @@ func decodeGateway(s *section, g *GatewaySection) error {
 		s.duration("refresh", &g.Refresh),
 		s.float("rate_rps", &g.RateRPS),
 		s.integer("burst", &g.Burst),
+	)
+}
+
+func decodeWorkload(s *section, w *WorkloadSection) error {
+	return firstErr(
+		s.str("kind", &w.Kind),
+		s.duration("period", &w.Period),
+		s.integer("fanout", &w.Fanout),
+		s.str("mode", &w.Mode),
+		s.integer("ttl", &w.TTL),
+		s.float("initial", &w.Initial),
 	)
 }
 
@@ -459,6 +475,14 @@ func encode(cfg Config) map[string]any {
 			"refresh":    cfg.Gateway.Refresh.String(),
 			"rate_rps":   cfg.Gateway.RateRPS,
 			"burst":      cfg.Gateway.Burst,
+		},
+		"workload": map[string]any{
+			"kind":    cfg.Workload.Kind,
+			"period":  cfg.Workload.Period.String(),
+			"fanout":  cfg.Workload.Fanout,
+			"mode":    cfg.Workload.Mode,
+			"ttl":     cfg.Workload.TTL,
+			"initial": cfg.Workload.Initial,
 		},
 	}
 }

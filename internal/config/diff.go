@@ -63,6 +63,16 @@ func Diff(old, new Config) ReloadDiff {
 	changed("gateway.rate_rps", true, old.Gateway.RateRPS != new.Gateway.RateRPS)
 	changed("gateway.burst", true, old.Gateway.Burst != new.Gateway.Burst)
 
+	// The whole workload section is restart-only: changing any knob means
+	// a different engine, and engine state (infection, running average)
+	// cannot be migrated live.
+	changed("workload.kind", false, old.Workload.Kind != new.Workload.Kind)
+	changed("workload.period", false, old.Workload.Period != new.Workload.Period)
+	changed("workload.fanout", false, old.Workload.Fanout != new.Workload.Fanout)
+	changed("workload.mode", false, old.Workload.Mode != new.Workload.Mode)
+	changed("workload.ttl", false, old.Workload.TTL != new.Workload.TTL)
+	changed("workload.initial", false, old.Workload.Initial != new.Workload.Initial)
+
 	return d
 }
 

@@ -15,6 +15,7 @@ import (
 	"peersampling/internal/metrics"
 	"peersampling/internal/runtime"
 	"peersampling/internal/transport"
+	"peersampling/internal/workload"
 )
 
 // Options tunes a Manager beyond its Config.
@@ -33,6 +34,11 @@ type Manager struct {
 	node *runtime.Node
 	coll *metrics.Collector
 	logf func(format string, args ...any)
+	// src is what the collector and control agent observe: the node
+	// itself, or a workload.NodeSource pairing it with its engine.
+	src metrics.Source
+	// wl is the attached workload engine's lifecycle; nil without one.
+	wl *workload.Attachment
 
 	mu      sync.Mutex
 	cfg     config.Config
@@ -83,8 +89,30 @@ func New(cfg config.Config, opts Options) (*Manager, error) {
 		return nil, err
 	}
 	m.node = node
-	m.coll.Register("", node) // registered under the node's own address
+	m.src = node
+	if cfg.WorkloadEnabled() {
+		engine, err := workload.New(cfg.Workload)
+		if err != nil {
+			_ = node.Close()
+			return nil, err
+		}
+		period := cfg.Workload.Period
+		if period <= 0 {
+			period = cfg.Node.Period
+		}
+		att, err := workload.Attach(node, engine, period)
+		if err != nil {
+			_ = node.Close()
+			return nil, err
+		}
+		m.wl = att
+		m.src = workload.NewNodeSource(node, engine)
+	}
+	m.coll.Register("", m.src) // registered under the node's own address
 
+	if m.wl != nil {
+		m.plugins = append(m.plugins, &workloadPlugin{m: m})
+	}
 	if cfg.Metrics.Addr != "" {
 		m.plugins = append(m.plugins, &metricsServerPlugin{m: m, addr: cfg.Metrics.Addr})
 	}

@@ -227,6 +227,11 @@ func (p *reporterPlugin) report() {
 		}
 		p.m.logf("stats: cycles=%d exchanges=%d failures=%d served=%d view=%d hops=[%d %.1f %d]",
 			s.Cycles, s.Exchanges, s.Failures, s.Served, s.ViewSize, s.HopMin, s.HopMean, s.HopMax)
+		if s.App != nil {
+			p.m.logf("workload(%s): rounds=%d sent=%d received=%d failures=%d infected=%g value=%g",
+				s.App.Workload, s.App.Rounds, s.App.Sent, s.App.Received, s.App.Failures,
+				s.App.Infected, s.App.Value)
+		}
 		if s.Wire != nil {
 			parts := make([]string, 0, 9)
 			for _, c := range s.Wire.Named() {
@@ -253,7 +258,7 @@ type agentPlugin struct {
 func (p *agentPlugin) Name() string { return "control-agent" }
 
 func (p *agentPlugin) Start() error {
-	a, err := fleet.NewAgent(p.addr, p.m.node, p.m.RequestStop)
+	a, err := fleet.NewAgent(p.addr, p.m.src, p.m.RequestStop)
 	if err != nil {
 		p.set("failed", err.Error())
 		return err
@@ -272,6 +277,31 @@ func (p *agentPlugin) Stop() error {
 	err := p.agent.Close()
 	p.set("stopped", "")
 	return err
+}
+
+// workloadPlugin drives the configured gossip application engine's
+// rounds. The engine itself was built and attached in New — the
+// transport handler must be installed before the listener serves peers —
+// so the plugin only owns the round loop's lifecycle.
+type workloadPlugin struct {
+	statusHolder
+	m *Manager
+}
+
+func (p *workloadPlugin) Name() string { return "workload" }
+
+func (p *workloadPlugin) Start() error {
+	cfg := p.m.cfgSnapshot().Workload
+	p.m.wl.Runner.Start()
+	p.set("running", cfg.Kind)
+	p.m.logf("workload: %s engine ticking", cfg.Kind)
+	return nil
+}
+
+func (p *workloadPlugin) Stop() error {
+	p.m.wl.Close()
+	p.set("stopped", "")
+	return nil
 }
 
 // gatewayPlugin serves the light-client sampling API off the node's

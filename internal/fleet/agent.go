@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"peersampling/internal/metrics"
-	"peersampling/internal/runtime"
 	"peersampling/internal/transport"
 )
 
@@ -44,7 +43,7 @@ type viewEntry struct {
 // driver is its main client.
 type Agent struct {
 	info AgentInfo
-	node *runtime.Node
+	src  metrics.Source
 	ln   net.Listener
 	srv  *http.Server
 
@@ -55,11 +54,13 @@ type Agent struct {
 	stop     func()
 }
 
-// NewAgent serves the control surface for node on addr ("127.0.0.1:0"
-// picks an ephemeral port, reported by Addr). stop is invoked (once, on
-// its own goroutine) when a client POSTs /stop; it should make the
-// daemon's main loop exit as if signalled.
-func NewAgent(addr string, node *runtime.Node, stop func()) (*Agent, error) {
+// NewAgent serves the control surface for a node on addr ("127.0.0.1:0"
+// picks an ephemeral port, reported by Addr). src is usually the
+// *runtime.Node itself; a daemon running a workload engine passes its
+// combined workload.NodeSource so /snapshot carries the app counters
+// too. stop is invoked (once, on its own goroutine) when a client POSTs
+// /stop; it should make the daemon's main loop exit as if signalled.
+func NewAgent(addr string, src metrics.Source, stop func()) (*Agent, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: agent listen %s: %w", addr, err)
@@ -67,11 +68,11 @@ func NewAgent(addr string, node *runtime.Node, stop func()) (*Agent, error) {
 	a := &Agent{
 		info: AgentInfo{
 			PID:             os.Getpid(),
-			Addr:            node.Addr(),
+			Addr:            src.Addr(),
 			ControlAddr:     ln.Addr().String(),
 			StartUnixMillis: time.Now().UnixMilli(),
 		},
-		node: node,
+		src:  src,
 		ln:   ln,
 		stop: stop,
 	}
@@ -135,11 +136,11 @@ func (a *Agent) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (a *Agent) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// The node's address doubles as the snapshot name; a collector on
 	// the scraping side overrides it with the registered member name.
-	writeJSON(w, metrics.SnapshotSource(a.node.Addr(), a.node))
+	writeJSON(w, metrics.SnapshotSource(a.src.Addr(), a.src))
 }
 
 func (a *Agent) handleView(w http.ResponseWriter, r *http.Request) {
-	view := a.node.View()
+	view := a.src.View()
 	entries := make([]viewEntry, len(view))
 	for i, d := range view {
 		entries[i] = viewEntry{Addr: d.Addr, Hop: d.Hop}

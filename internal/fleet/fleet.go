@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"peersampling/internal/config"
 	"peersampling/internal/core"
 	"peersampling/internal/metrics"
 	"peersampling/internal/transport"
@@ -37,6 +38,11 @@ type Config struct {
 	Backend string
 	// Limits hardens every member's listener (see transport.Limits).
 	Limits transport.Limits
+	// Workload, when its Kind is set, runs a gossip application engine
+	// on every member (see internal/workload): attached in-process for
+	// the inproc driver, written into the forked daemon's config for the
+	// subprocess one. Zero knobs keep the daemon defaults.
+	Workload config.WorkloadSection
 	// Name labels member i for metrics registration and logs; nil
 	// selects "node00", "node01", ...
 	Name func(i int) string
@@ -70,6 +76,29 @@ func (cfg Config) withDefaults() Config {
 		cfg.SpawnTimeout = 15 * time.Second
 	}
 	return cfg
+}
+
+// workloadSection merges the template's workload knobs over the daemon
+// defaults, so both drivers run identical engine parameters: what the
+// inproc driver attaches directly is exactly what a forked psnode reads
+// back from its generated config file.
+func (cfg Config) workloadSection() config.WorkloadSection {
+	ws := config.Default().Workload
+	ws.Kind = cfg.Workload.Kind
+	if cfg.Workload.Period > 0 {
+		ws.Period = cfg.Workload.Period
+	}
+	if cfg.Workload.Fanout > 0 {
+		ws.Fanout = cfg.Workload.Fanout
+	}
+	if cfg.Workload.Mode != "" {
+		ws.Mode = cfg.Workload.Mode
+	}
+	if cfg.Workload.TTL > 0 {
+		ws.TTL = cfg.Workload.TTL
+	}
+	ws.Initial = cfg.Workload.Initial
+	return ws
 }
 
 // Member is one node of a cluster. Observation methods keep working on a

@@ -8,6 +8,7 @@ import (
 	"peersampling/internal/metrics"
 	"peersampling/internal/runtime"
 	"peersampling/internal/transport"
+	"peersampling/internal/workload"
 )
 
 // inprocCluster runs every member as a goroutine-driven runtime.Node in
@@ -28,6 +29,11 @@ func newInproc(cfg Config) *inprocCluster {
 type inprocMember struct {
 	name string
 	node *runtime.Node
+	// src is what observers see: the node, or a workload.NodeSource
+	// pairing it with its engine when the template runs one.
+	src metrics.Source
+	// att is the member's workload attachment; nil without one.
+	att *workload.Attachment
 
 	mu    sync.Mutex
 	alive bool
@@ -45,7 +51,7 @@ func (m *inprocMember) Alive() bool {
 func (m *inprocMember) Snapshot() (metrics.NodeSnapshot, error) {
 	// A closed runtime node stays readable, so this works on dead
 	// members too — the inproc driver's one fidelity advantage.
-	return metrics.SnapshotSource(m.name, m.node), nil
+	return metrics.SnapshotSource(m.name, m.src), nil
 }
 
 func (m *inprocMember) View() ([]transport.Descriptor, error) {
@@ -60,6 +66,9 @@ func (m *inprocMember) kill() error {
 	}
 	m.alive = false
 	m.mu.Unlock()
+	if m.att != nil {
+		m.att.Close() // stop initiating app rounds before the transport goes
+	}
 	return m.node.Close()
 }
 
@@ -91,6 +100,26 @@ func (c *inprocCluster) Spawn(contacts []string) (Member, error) {
 		return nil, fmt.Errorf("fleet: member %d: %w", idx, err)
 	}
 	m := &inprocMember{name: c.cfg.Name(idx), node: node, alive: true}
+	m.src = node
+	if c.cfg.Workload.Kind != "" {
+		ws := c.cfg.workloadSection()
+		engine, err := workload.New(ws)
+		if err != nil {
+			_ = node.Close()
+			return nil, fmt.Errorf("fleet: member %s: %w", m.name, err)
+		}
+		period := ws.Period
+		if period <= 0 {
+			period = c.cfg.Period
+		}
+		att, err := workload.Attach(node, engine, period)
+		if err != nil {
+			_ = node.Close()
+			return nil, fmt.Errorf("fleet: member %s: %w", m.name, err)
+		}
+		m.att = att
+		m.src = workload.NewNodeSource(node, engine)
+	}
 	if len(contacts) > 0 {
 		if err := node.Init(contacts); err != nil {
 			_ = node.Close()
@@ -100,6 +129,9 @@ func (c *inprocCluster) Spawn(contacts []string) (Member, error) {
 	if err := node.Start(); err != nil {
 		_ = node.Close()
 		return nil, fmt.Errorf("fleet: member %s start: %w", m.name, err)
+	}
+	if m.att != nil {
+		m.att.Runner.Start()
 	}
 
 	c.mu.Lock()
@@ -113,7 +145,7 @@ func (c *inprocCluster) Spawn(contacts []string) (Member, error) {
 	c.mu.Unlock()
 
 	if c.cfg.Collector != nil {
-		c.cfg.Collector.Register(m.name, node)
+		c.cfg.Collector.Register(m.name, m.src)
 	}
 	return m, nil
 }

@@ -115,6 +115,9 @@ func (c *subprocessCluster) memberConfig(contacts []string, readyPath string) co
 	nc.Transport.FirstFrameTimeout = c.cfg.Limits.FirstFrameTimeout
 	nc.Control.Addr = "127.0.0.1:0"
 	nc.Control.ReadyFile = readyPath
+	if c.cfg.Workload.Kind != "" {
+		nc.Workload = c.cfg.workloadSection()
+	}
 	return nc
 }
 

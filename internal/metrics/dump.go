@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"peersampling/internal/app"
 )
 
 // Format selects the on-disk shape of a Dumper's output.
@@ -104,7 +106,10 @@ func (d *Dumper) Dump() error {
 		// Gateway counters are compared too: a gateway source's cycle
 		// column is its refresh count, which stands still between refresh
 		// ticks even while requests are being served.
-		if prev, ok := d.last[s.Node]; ok && prev.Cycles == s.Cycles && gatewayUnchanged(prev.Gateway, s.Gateway) {
+		// Workload counters are compared too: an engine's rounds advance on
+		// its own ticker, independent of the node's gossip cycles.
+		if prev, ok := d.last[s.Node]; ok && prev.Cycles == s.Cycles &&
+			gatewayUnchanged(prev.Gateway, s.Gateway) && appUnchanged(prev.App, s.App) {
 			continue
 		}
 		snaps = append(snaps, s)
@@ -138,6 +143,15 @@ func (d *Dumper) Dump() error {
 		d.last[s.Node] = s
 	}
 	return nil
+}
+
+// appUnchanged compares two workload snapshots; app.Snapshot is all
+// scalars, so plain equality is the whole comparison.
+func appUnchanged(prev, cur *app.Snapshot) bool {
+	if prev == nil || cur == nil {
+		return prev == cur
+	}
+	return *prev == *cur
 }
 
 // gatewayUnchanged compares two gateway snapshots ignoring the cache

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLongCSVErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"empty document", "", "empty long-form CSV"},
+		{"blank first line", "\n", "empty long-form CSV"},
+		{"three-column header", "node,cycle,value\n", "not a long-form header"},
+		{"five-column header", "node,cycle,metric,value,extra\n", "not a long-form header"},
+		{"drifted cycle column", "node,tick,metric,value\n", "not a long-form header"},
+		{"drifted metric column", "node,cycle,series,value\n", "not a long-form header"},
+		{"drifted value column", "node,cycle,metric,reading\n", "not a long-form header"},
+		{"capitalised header", "node,Cycle,Metric,Value\n", "not a long-form header"},
+		{"truncated row", "node,cycle,metric,value\nn0,3\n", "line 2: 2 fields, want >= 4"},
+		{"single-field row", "node,cycle,metric,value\nn0,1,m,2\njunk\n", "line 3: 1 fields, want >= 4"},
+		{"non-numeric cycle", "node,cycle,metric,value\nn0,three,m,1.0\n", "cycle"},
+		{"float cycle", "node,cycle,metric,value\nn0,1.5,m,1.0\n", "cycle"},
+		{"non-numeric value", "node,cycle,metric,value\nn0,1,m,high\n", "value"},
+		{"empty value", "node,cycle,metric,value\nn0,1,m,\n", "value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ParseLongCSV(tc.doc)
+			if err == nil {
+				t.Fatalf("ParseLongCSV(%q) accepted, want error containing %q", tc.doc, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseLongCSV(%q) error = %q, want it to contain %q", tc.doc, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseLongCSVCommaKeys(t *testing.T) {
+	// Protocol-tuple keys contain commas; the fixed columns anchor right.
+	doc := "protocol,cycle,metric,value\n(rand,head,pushpull),7,clustering,0.125000\n"
+	key, rows, err := ParseLongCSV(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "protocol" || len(rows) != 1 {
+		t.Fatalf("key=%q rows=%d", key, len(rows))
+	}
+	r := rows[0]
+	if r.Key != "(rand,head,pushpull)" || r.Cycle != 7 || r.Metric != "clustering" || r.Value != 0.125 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+// FuzzParseLongCSV asserts the parser never panics, and that any document
+// it accepts round-trips: re-rendering the parsed rows and re-parsing
+// yields the same rows (modulo the renderer's fixed-precision values, so
+// the invariant is checked on the re-rendered form, which must be a
+// fixed point).
+func FuzzParseLongCSV(f *testing.F) {
+	f.Add("node,cycle,metric,value\nn0,1,infected,1.000000\n")
+	f.Add("protocol,cycle,metric,value\n(rand,head,push),0,pathlen,2.5\n")
+	f.Add("node,cycle,metric,value\nnode,cycle,metric,value\nn0,2,m,0.5\n")
+	f.Add("node,cycle,metric,value\nn0,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		key, rows, err := ParseLongCSV(doc)
+		if err != nil {
+			return
+		}
+		rendered := LongCSV(key, rows)
+		key2, rows2, err := ParseLongCSV(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered document failed: %v\nrendered: %q", err, rendered)
+		}
+		if key2 != key {
+			t.Fatalf("key column drifted: %q -> %q", key, key2)
+		}
+		if LongCSV(key2, rows2) != rendered {
+			t.Fatalf("render is not a fixed point:\nfirst:  %q\nsecond: %q", rendered, LongCSV(key2, rows2))
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"peersampling/internal/app"
 	"peersampling/internal/core"
 	"peersampling/internal/transport"
 )
@@ -30,6 +31,14 @@ type Source interface {
 // Prometheus histogram family and p50/p99 long-form columns.
 type LatencySource interface {
 	ExchangeLatency() transport.LatencySnapshot
+}
+
+// AppSource is an optional Source capability: sources running a gossip
+// workload engine (see internal/workload) report its counters alongside
+// the node's, landing them on the same Prometheus exposition and
+// long-form dumps. ok=false means no workload is attached.
+type AppSource interface {
+	AppSnapshot() (app.Snapshot, bool)
 }
 
 // Poller is the remote counterpart of Source: one call returns the whole
@@ -84,6 +93,13 @@ type NodeSnapshot struct {
 	// ordinary node sources. A gateway source reports its refresh count as
 	// Cycles, so the dumper's cycle-granularity sampling applies unchanged.
 	Gateway *GatewaySnapshot `json:"gateway,omitempty"`
+
+	// App holds the counters of the workload engine riding this node
+	// (epidemic broadcast or push-pull averaging); nil when none is
+	// attached. The snapshot travels through the fleet agent's /snapshot
+	// JSON unchanged, so subprocess members report workloads exactly like
+	// in-process ones.
+	App *app.Snapshot `json:"app,omitempty"`
 }
 
 // GatewaySnapshot is the sampling gateway's observable state: request
@@ -134,6 +150,16 @@ func (s NodeSnapshot) Rows() []LongRow {
 		rows = append(rows,
 			LongRow{s.Node, int(s.Cycles), "exchange_latency_p50", s.Latency.Quantile(0.50)},
 			LongRow{s.Node, int(s.Cycles), "exchange_latency_p99", s.Latency.Quantile(0.99)},
+		)
+	}
+	if a := s.App; a != nil {
+		rows = append(rows,
+			LongRow{s.Node, int(s.Cycles), "app_rounds", float64(a.Rounds)},
+			LongRow{s.Node, int(s.Cycles), "app_sent", float64(a.Sent)},
+			LongRow{s.Node, int(s.Cycles), "app_received", float64(a.Received)},
+			LongRow{s.Node, int(s.Cycles), "app_failures", float64(a.Failures)},
+			LongRow{s.Node, int(s.Cycles), "app_infected", a.Infected},
+			LongRow{s.Node, int(s.Cycles), "app_value", a.Value},
 		)
 	}
 	if g := s.Gateway; g != nil {
@@ -316,6 +342,11 @@ func snapshotOne(name string, src Source, unixMillis int64) NodeSnapshot {
 	if ls, ok := src.(LatencySource); ok {
 		lat := ls.ExchangeLatency()
 		s.Latency = &lat
+	}
+	if as, ok := src.(AppSource); ok {
+		if snap, attached := as.AppSnapshot(); attached {
+			s.App = &snap
+		}
 	}
 	view := src.View()
 	s.ViewSize = len(view)

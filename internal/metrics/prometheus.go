@@ -56,6 +56,7 @@ func promFamilies(snaps []NodeSnapshot) []promFamily {
 		{"peersampling_source_last_update_seconds", "Unix time of the source's last successful poll; stops advancing when the source dies.", "gauge",
 			func(s NodeSnapshot) (float64, bool) { return float64(s.UnixMillis) / 1000, true }},
 	}
+	families = append(families, appFamilies()...)
 	families = append(families, gatewayFamilies()...)
 	for _, wire := range wireCounterNames(snaps) {
 		name := wire // capture
@@ -77,6 +78,35 @@ func promFamilies(snaps []NodeSnapshot) []promFamily {
 		})
 	}
 	return families
+}
+
+// appFamilies enumerates the workload engine's families. Samples are
+// emitted only for snapshots carrying an app.Snapshot, so nodes without
+// a workload stay unaffected. Infection state and the averaging estimate
+// are gauges; everything else counts engine activity.
+func appFamilies() []promFamily {
+	ap := func(read func(a NodeSnapshot) float64) func(NodeSnapshot) (float64, bool) {
+		return func(s NodeSnapshot) (float64, bool) {
+			if s.App == nil {
+				return 0, false
+			}
+			return read(s), true
+		}
+	}
+	return []promFamily{
+		{"peersampling_app_rounds_total", "Workload engine rounds ticked.", "counter",
+			ap(func(s NodeSnapshot) float64 { return float64(s.App.Rounds) })},
+		{"peersampling_app_messages_sent_total", "Workload payloads delivered to drawn peers.", "counter",
+			ap(func(s NodeSnapshot) float64 { return float64(s.App.Sent) })},
+		{"peersampling_app_messages_received_total", "Workload payloads received from peers.", "counter",
+			ap(func(s NodeSnapshot) float64 { return float64(s.App.Received) })},
+		{"peersampling_app_failures_total", "Workload deliveries that failed (unreachable peers, timeouts).", "counter",
+			ap(func(s NodeSnapshot) float64 { return float64(s.App.Failures) })},
+		{"peersampling_app_infected", "1 when the broadcast engine holds the rumor, 0 otherwise.", "gauge",
+			ap(func(s NodeSnapshot) float64 { return s.App.Infected })},
+		{"peersampling_app_value", "Current estimate of the push-pull averaging engine.", "gauge",
+			ap(func(s NodeSnapshot) float64 { return s.App.Value })},
+	}
 }
 
 // gatewayFamilies enumerates the sampling gateway's families. Samples

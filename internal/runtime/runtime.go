@@ -327,6 +327,37 @@ func (n *Node) Tick() {
 	n.lat.Observe(elapsed)
 }
 
+// SetAppHandler installs h as the node's application payload handler,
+// delivered incoming workload messages by the transport. ok is false
+// when the transport cannot carry app payloads (none of the real
+// backends decline; a custom Factory might).
+func (n *Node) SetAppHandler(h transport.AppHandler) (ok bool) {
+	c, ok := n.transport.(transport.AppCarrier)
+	if !ok {
+		return false
+	}
+	c.SetAppHandler(h)
+	return true
+}
+
+// SendApp delivers an application payload on topic to peer over the
+// node's transport and, when wantReply is set, returns the peer's reply
+// payload. replied reports whether a reply arrived. The error surface
+// matches transport.Exchange; a transport without app support returns an
+// error immediately.
+func (n *Node) SendApp(ctx context.Context, peer, topic string, payload []byte, wantReply bool) (reply []byte, replied bool, err error) {
+	c, ok := n.transport.(transport.AppCarrier)
+	if !ok {
+		return nil, false, errors.New("runtime: transport cannot carry app payloads")
+	}
+	msg := transport.AppMessage{From: n.Addr(), Topic: topic, Payload: payload, WantReply: wantReply}
+	resp, replied, err := c.ExchangeApp(ctx, peer, msg)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Payload, replied, nil
+}
+
 // ExchangeLatency returns a snapshot of the node's exchange round-trip
 // histogram: every completed active exchange since the node was created,
 // over whatever transport it runs. Failed exchanges appear in Stats'

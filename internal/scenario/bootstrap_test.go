@@ -212,8 +212,8 @@ func TestForEachPar(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	defs := All()
-	if len(defs) != 15 {
-		t.Fatalf("registry has %d entries want 15", len(defs))
+	if len(defs) != 17 {
+		t.Fatalf("registry has %d entries want 17", len(defs))
 	}
 	ids := map[string]bool{}
 	for _, d := range defs {
@@ -226,8 +226,12 @@ func TestFindAndAll(t *testing.T) {
 		ids[d.ID] = true
 	}
 	// Exactly the live-cluster experiments take a LiveEnv.
+	live := map[string]bool{
+		"hostile": true, "bootstrap": true, "livechurn": true,
+		"livebroadcast": true, "liveaggregate": true,
+	}
 	for _, d := range defs {
-		wantLive := d.ID == "hostile" || d.ID == "bootstrap" || d.ID == "livechurn"
+		wantLive := live[d.ID]
 		if (d.RunLive != nil) != wantLive {
 			t.Errorf("%s: RunLive presence = %v want %v", d.ID, d.RunLive != nil, wantLive)
 		}

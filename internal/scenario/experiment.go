@@ -82,6 +82,16 @@ func All() []Def {
 			runLiveDirect(liveChurnDef),
 			liveChurnDef,
 		},
+		{
+			"livebroadcast", "Extension: epidemic rumor spread over a live fleet under a kill wave",
+			runLiveDirect(liveBroadcastDef),
+			liveBroadcastDef,
+		},
+		{
+			"liveaggregate", "Extension: live push-pull averaging — variance decay and size estimation",
+			runLiveDirect(liveAggregateDef),
+			liveAggregateDef,
+		},
 		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }, nil},
 	}
 }
@@ -98,6 +108,14 @@ func hostileDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
 
 func liveChurnDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
 	return RunLiveChurn(sc, seed, env)
+}
+
+func liveBroadcastDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
+	return RunLiveBroadcast(sc, seed, env)
+}
+
+func liveAggregateDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
+	return RunLiveAggregate(sc, seed, env)
 }
 
 // Find returns the experiment definition with the given ID.

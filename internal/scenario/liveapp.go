@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"peersampling/internal/fleet"
+	"peersampling/internal/metrics"
+	"peersampling/internal/transport"
+)
+
+// appSeeder is the experiment driver's own app-frame transport: the live
+// workload scenarios use it to inject rumors and (re)set aggregate
+// values on fleet members without being cluster members themselves — the
+// live analogue of the simulator's direct Infect/SetValue calls.
+type appSeeder struct {
+	tr transport.Transport
+	ac transport.AppCarrier
+}
+
+func newAppSeeder() (*appSeeder, error) {
+	factory, err := transport.NewFactory("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	// The seeder never serves gossip: any peer that somehow learns its
+	// address gets a refusal, and it is not in any contact list.
+	tr, err := factory(func(req transport.Request) (transport.Response, bool) {
+		return transport.Response{}, false
+	})
+	if err != nil {
+		return nil, err
+	}
+	ac, ok := tr.(transport.AppCarrier)
+	if !ok {
+		_ = tr.Close()
+		return nil, errors.New("scenario: transport cannot carry app payloads")
+	}
+	return &appSeeder{tr: tr, ac: ac}, nil
+}
+
+// send pushes one app payload to addr on topic, best-effort (no reply).
+func (s *appSeeder) send(addr, topic string, payload []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _, err := s.ac.ExchangeApp(ctx, addr, transport.AppMessage{
+		From:    s.tr.Addr(),
+		Topic:   topic,
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: seed %s via %s: %w", addr, topic, err)
+	}
+	return nil
+}
+
+func (s *appSeeder) Close() error { return s.tr.Close() }
+
+// liveAppTotals sums the workload counters of a snapshot round; nodes
+// without an attached engine contribute nothing.
+func liveAppTotals(snaps []metrics.NodeSnapshot) (sent, received, failures uint64) {
+	for _, s := range snaps {
+		if s.App == nil {
+			continue
+		}
+		sent += s.App.Sent
+		received += s.App.Received
+		failures += s.App.Failures
+	}
+	return
+}
+
+// liveAppSnapshots reads every live member's snapshot, keeping only the
+// ones that answered with workload counters attached.
+func liveAppSnapshots(members []fleet.Member) []metrics.NodeSnapshot {
+	snaps := make([]metrics.NodeSnapshot, 0, len(members))
+	for _, m := range members {
+		if !m.Alive() {
+			continue
+		}
+		s, err := m.Snapshot()
+		if err != nil || s.App == nil {
+			continue
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps
+}

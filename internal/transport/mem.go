@@ -130,12 +130,16 @@ type memEndpoint struct {
 	fabric  *Fabric
 	addr    string
 	handler Handler
+	apps    appHandlerBox
 
 	mu     sync.Mutex
 	closed bool
 }
 
-var _ Transport = (*memEndpoint)(nil)
+var (
+	_ Transport  = (*memEndpoint)(nil)
+	_ AppCarrier = (*memEndpoint)(nil)
+)
 
 // Addr implements Transport.
 func (e *memEndpoint) Addr() string { return e.addr }
@@ -174,6 +178,49 @@ func (e *memEndpoint) Exchange(ctx context.Context, addr string, req Request) (R
 		return Response{}, false, nil
 	}
 	return cloneResponse(resp), true, nil
+}
+
+// SetAppHandler implements AppCarrier.
+func (e *memEndpoint) SetAppHandler(h AppHandler) { e.apps.store(h) }
+
+// ExchangeApp implements AppCarrier. It applies the same latency, loss
+// and partition models as Exchange; a destination with no app handler
+// swallows the payload (a pull reports ok=false), matching the real
+// transports where such frames are dropped.
+func (e *memEndpoint) ExchangeApp(ctx context.Context, addr string, msg AppMessage) (AppMessage, bool, error) {
+	if e.isClosed() {
+		return AppMessage{}, false, ErrClosed
+	}
+	dst, err := e.fabric.lookup(e.addr, addr)
+	if err != nil {
+		return AppMessage{}, false, err
+	}
+	if d := e.fabric.latency; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return AppMessage{}, false, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return AppMessage{}, false, err
+	}
+	h := dst.apps.load()
+	if h == nil {
+		return AppMessage{}, false, nil
+	}
+	// Deliver a deep copy of the payload, exactly as a real network would.
+	in := msg
+	in.Payload = append([]byte(nil), msg.Payload...)
+	reply, ok := h(in)
+	if !ok || !msg.WantReply {
+		return AppMessage{}, false, nil
+	}
+	reply.Payload = append([]byte(nil), reply.Payload...)
+	reply.WantReply = false
+	return reply, true, nil
 }
 
 // Close implements Transport.

@@ -74,6 +74,7 @@ type PooledTCP struct {
 	handler  Handler
 	cfg      PoolConfig
 	limits   limitsBox // current serve-side Limits (cfg.Limits is the construction-time value)
+	apps     appHandlerBox
 	gate     *connGate
 	stats    counters
 
@@ -89,6 +90,7 @@ var (
 	_ Transport     = (*PooledTCP)(nil)
 	_ StatsReporter = (*PooledTCP)(nil)
 	_ LimitsUpdater = (*PooledTCP)(nil)
+	_ AppCarrier    = (*PooledTCP)(nil)
 )
 
 // pooledConn is an outbound connection plus the time it was returned to
@@ -154,7 +156,52 @@ func (t *PooledTCP) serve() {
 // serveConn is the passive side of a persistent connection; the budget
 // schedule (shared with the plain TCP backend) is Limits.budget's.
 func (t *PooledTCP) serveConn(conn net.Conn) {
-	servePersistent(conn, t.handler, &t.stats, t.reg, &t.limits)
+	servePersistent(conn, t.handler, &t.stats, t.reg, &t.limits, &t.apps)
+}
+
+// SetAppHandler implements AppCarrier.
+func (t *PooledTCP) SetAppHandler(h AppHandler) { t.apps.store(h) }
+
+// ExchangeApp implements AppCarrier: one app exchange over a pooled
+// connection, with the same borrow / stale-retry discipline as Exchange.
+func (t *PooledTCP) ExchangeApp(ctx context.Context, addr string, msg AppMessage) (AppMessage, bool, error) {
+	framep := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(framep)
+	frame, err := appendAppFrame((*framep)[:0], msg, false)
+	if err != nil {
+		return AppMessage{}, false, err
+	}
+	*framep = frame[:0]
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		deadline = time.Now().Add(tcpDefaultTimeout)
+	}
+	pc, err := t.borrow(ctx, addr, deadline)
+	if err != nil {
+		return AppMessage{}, false, err
+	}
+	reply, ok, err := t.exchangeAppOn(pc, addr, frame, msg.WantReply, deadline)
+	if err != nil && pc.reused && ctx.Err() == nil && time.Now().Before(deadline) {
+		pc, derr := t.dial(ctx, addr, deadline)
+		if derr != nil {
+			return AppMessage{}, false, derr
+		}
+		reply, ok, err = t.exchangeAppOn(pc, addr, frame, msg.WantReply, deadline)
+	}
+	return reply, ok, err
+}
+
+// exchangeAppOn runs one framed app exchange over pc, releasing it back
+// to the pool on success and closing it on failure.
+func (t *PooledTCP) exchangeAppOn(pc *pooledConn, addr string, frame []byte, wantReply bool, deadline time.Time) (AppMessage, bool, error) {
+	_ = pc.conn.SetDeadline(deadline)
+	reply, ok, err := exchangeAppFrames(pc.conn, frame, wantReply, addr, &t.stats)
+	if err != nil {
+		pc.conn.Close()
+		return AppMessage{}, false, err
+	}
+	t.release(addr, pc)
+	return reply, ok, nil
 }
 
 // Exchange implements Transport. It borrows a pooled connection to addr

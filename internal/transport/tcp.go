@@ -25,6 +25,7 @@ type TCP struct {
 	listener net.Listener
 	handler  Handler
 	limits   limitsBox
+	apps     appHandlerBox
 	gate     *connGate
 	stats    counters
 
@@ -38,6 +39,7 @@ var (
 	_ Transport     = (*TCP)(nil)
 	_ StatsReporter = (*TCP)(nil)
 	_ LimitsUpdater = (*TCP)(nil)
+	_ AppCarrier    = (*TCP)(nil)
 )
 
 // ListenTCP starts serving on addr (e.g. "127.0.0.1:0") with h handling
@@ -96,7 +98,41 @@ func (t *TCP) serve() {
 // Limits). Dial-per-exchange clients simply close after one exchange,
 // ending the loop with EOF.
 func (t *TCP) handleConn(conn net.Conn) {
-	servePersistent(conn, t.handler, &t.stats, t.reg, &t.limits)
+	servePersistent(conn, t.handler, &t.stats, t.reg, &t.limits, &t.apps)
+}
+
+// SetAppHandler implements AppCarrier.
+func (t *TCP) SetAppHandler(h AppHandler) { t.apps.store(h) }
+
+// ExchangeApp implements AppCarrier: one app exchange over a fresh
+// short-lived connection, exactly like Exchange.
+func (t *TCP) ExchangeApp(ctx context.Context, addr string, msg AppMessage) (AppMessage, bool, error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return AppMessage{}, false, ErrClosed
+	}
+	framep := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(framep)
+	frame, err := appendAppFrame((*framep)[:0], msg, false)
+	if err != nil {
+		return AppMessage{}, false, err
+	}
+	*framep = frame[:0]
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		deadline = time.Now().Add(tcpDefaultTimeout)
+	}
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return AppMessage{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.stats.dials.Add(1)
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline)
+	return exchangeAppFrames(conn, frame, msg.WantReply, addr, &t.stats)
 }
 
 // connScratch is the per-connection reusable state of the pooled codec
@@ -322,7 +358,10 @@ func (r *connRegistry) closeAll() {
 // keep-alive the connection has earned (full after its first pull,
 // shrunken while it has only ever pushed). A budget expiry is counted as
 // a keep-alive eviction.
-func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistry, box *limitsBox) {
+// Frames carrying the app kinds are routed to the endpoint's current app
+// handler (apps); an app pull earns the keep-alive budget exactly like a
+// gossip pull.
+func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistry, box *limitsBox, apps *appHandlerBox) {
 	if !reg.add(conn) {
 		conn.Close()
 		return
@@ -351,7 +390,12 @@ func servePersistent(conn net.Conn, h Handler, stats *counters, reg *connRegistr
 		cs.readBuf = frame
 		first = false
 		stats.noteRead(len(frame) + frameHeaderSize)
-		keep, didPull := handleFrame(conn, frame, h, stats, &cs)
+		var keep, didPull bool
+		if isAppFrame(frame) {
+			keep, didPull = handleAppFrame(conn, frame, apps.load(), stats, &cs)
+		} else {
+			keep, didPull = handleFrame(conn, frame, h, stats, &cs)
+		}
 		pulled = pulled || didPull
 		if !keep {
 			return

@@ -35,6 +35,7 @@ type UDP struct {
 	conn     *net.UDPConn
 	handler  Handler
 	limits   limitsBox
+	apps     appHandlerBox
 	stats    counters
 	gate     *connGate
 	wg       sync.WaitGroup // in-flight handler goroutines
@@ -46,6 +47,7 @@ var (
 	_ Transport     = (*UDP)(nil)
 	_ StatsReporter = (*UDP)(nil)
 	_ LimitsUpdater = (*UDP)(nil)
+	_ AppCarrier    = (*UDP)(nil)
 )
 
 // datagramBufs recycles max-size receive buffers across exchanges; one
@@ -66,9 +68,10 @@ var datagramBufs = sync.Pool{
 var udpRequests = sync.Pool{New: func() any { return new(udpRequest) }}
 
 type udpRequest struct {
-	descs  []Descriptor
-	intern Interner
-	outBuf []byte // response encode buffer, reused with the entry
+	descs   []Descriptor
+	intern  Interner
+	outBuf  []byte // response encode buffer, reused with the entry
+	payload []byte // app payload copy: the receive buffer is reused before the handler runs
 }
 
 // udpDefaultTimeout bounds an exchange awaiting a response datagram when
@@ -140,6 +143,10 @@ func (t *UDP) serve() {
 			continue
 		}
 		t.stats.noteRead(n)
+		if isAppFrame(buf[:n]) {
+			t.serveAppDatagram(buf[:n], src)
+			continue
+		}
 		// Decode synchronously into a pooled request state: buf is free
 		// for the next datagram, while the decoded request travels to its
 		// handler goroutine owning its (pooled) descriptor storage.
@@ -162,6 +169,131 @@ func (t *UDP) serve() {
 			t.handleDatagram(req, src, ur)
 		}(req, src, ur)
 	}
+}
+
+// serveAppDatagram routes one app-kind datagram: decode into pooled
+// request state (copying the payload, since the receive buffer is reused
+// for the next datagram) and hand it to the app handler on its own
+// goroutine, under the same concurrency gate as gossip handlers.
+func (t *UDP) serveAppDatagram(frame []byte, src *net.UDPAddr) {
+	ur := udpRequests.Get().(*udpRequest)
+	msg, isReq, err := DecodeAppMessage(frame, &ur.intern)
+	if err != nil || !isReq {
+		udpRequests.Put(ur)
+		t.stats.dropped.Add(1)
+		return
+	}
+	ur.payload = append(ur.payload[:0], msg.Payload...)
+	msg.Payload = ur.payload
+	if !t.gate.tryAcquire() {
+		udpRequests.Put(ur)
+		return // handler slots exhausted; counted as an accept reject
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		defer t.gate.release()
+		defer udpRequests.Put(ur)
+		t.handleAppDatagram(msg, src, ur)
+	}()
+}
+
+// handleAppDatagram runs the app handler for one decoded message and
+// writes the reply datagram when the message pulls one.
+func (t *UDP) handleAppDatagram(msg AppMessage, src *net.UDPAddr, ur *udpRequest) {
+	h := t.apps.load()
+	if h == nil {
+		t.stats.dropped.Add(1)
+		return
+	}
+	reply, ok := h(msg)
+	if !ok || !msg.WantReply {
+		return
+	}
+	out, err := appendAppDatagram(ur.outBuf[:0], reply)
+	if err == nil {
+		ur.outBuf = out
+	}
+	if err != nil || len(out) > MaxDatagramSize {
+		t.stats.dropped.Add(1)
+		return
+	}
+	if _, err := t.conn.WriteToUDP(out, src); err != nil {
+		t.stats.dropped.Add(1)
+		return
+	}
+	t.stats.noteWrite(len(out))
+}
+
+// appendAppDatagram encodes an app reply without the TCP length prefix.
+func appendAppDatagram(dst []byte, msg AppMessage) ([]byte, error) {
+	return AppendAppMessage(dst, msg, true)
+}
+
+// SetAppHandler implements AppCarrier.
+func (t *UDP) SetAppHandler(h AppHandler) { t.apps.store(h) }
+
+// ExchangeApp implements AppCarrier: one app exchange per datagram pair,
+// with the same connected-socket matching as Exchange.
+func (t *UDP) ExchangeApp(ctx context.Context, addr string, msg AppMessage) (AppMessage, bool, error) {
+	select {
+	case <-t.done:
+		return AppMessage{}, false, ErrClosed
+	default:
+	}
+	framep := frameBufs.Get().(*[]byte)
+	defer frameBufs.Put(framep)
+	frame, err := AppendAppMessage((*framep)[:0], msg, false)
+	if err != nil {
+		return AppMessage{}, false, err
+	}
+	*framep = frame[:0]
+	if len(frame) > MaxDatagramSize {
+		return AppMessage{}, false, fmt.Errorf("%w: %d bytes > %d", ErrOversized, len(frame), MaxDatagramSize)
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		deadline = time.Now().Add(udpDefaultTimeout)
+	}
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "udp", addr)
+	if err != nil {
+		return AppMessage{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.stats.dials.Add(1)
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(frame); err != nil {
+		return AppMessage{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.stats.noteWrite(len(frame))
+	if !msg.WantReply {
+		return AppMessage{}, false, nil
+	}
+	buf := datagramBufs.Get().(*[]byte)
+	defer datagramBufs.Put(buf)
+	n, err := conn.Read(*buf)
+	if err != nil {
+		t.stats.dropped.Add(1)
+		return AppMessage{}, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	if n > MaxDatagramSize {
+		t.stats.dropped.Add(1)
+		return AppMessage{}, false, fmt.Errorf("%w: response %d bytes", ErrOversized, n)
+	}
+	t.stats.noteRead(n)
+	reply, isReq, err := DecodeAppMessage((*buf)[:n], nil)
+	if err != nil {
+		t.stats.dropped.Add(1)
+		return AppMessage{}, false, err
+	}
+	if isReq {
+		t.stats.dropped.Add(1)
+		return AppMessage{}, false, errors.New("transport: peer answered with an app request frame")
+	}
+	// The payload aliases the pooled datagram buffer; hand back an owned copy.
+	reply.Payload = append([]byte(nil), reply.Payload...)
+	return reply, true, nil
 }
 
 // handleDatagram runs the handler for one decoded request and writes the

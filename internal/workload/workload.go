@@ -1,0 +1,91 @@
+// Package workload wires the address-generic application tier
+// (internal/app) onto a live runtime node from configuration: it builds
+// the engine a config.WorkloadSection describes, attaches it to the
+// node's transport app-payload path and sampling service, and wraps the
+// node so the engine's counters flow through internal/metrics alongside
+// the node's own. The daemon's workload plugin and the fleet drivers
+// are the two consumers.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"peersampling/aggregate"
+	"peersampling/broadcast"
+	"peersampling/internal/app"
+	"peersampling/internal/config"
+	"peersampling/internal/runtime"
+)
+
+// New builds the engine ws describes. The section must already have
+// passed config.Validate; unknown kinds still error rather than panic so
+// hand-built sections fail loudly.
+func New(ws config.WorkloadSection) (app.Engine[string], error) {
+	switch ws.Kind {
+	case config.WorkloadBroadcast:
+		mode, err := broadcast.ParseMode(ws.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		e, err := broadcast.NewEngine[string](ws.Fanout, mode, ws.TTL)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		return e, nil
+	case config.WorkloadAggregate:
+		return aggregate.NewEngine[string](ws.Initial), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %q", ws.Kind)
+	}
+}
+
+// Attachment is one engine running against one live node: the mux
+// serving the node's incoming app payloads and the runner driving the
+// engine's rounds. Close stops the rounds; the mux stays installed (a
+// closed engine simply stops initiating, matching a node that keeps
+// answering passive exchanges after its active thread stops).
+type Attachment struct {
+	Mux    *app.Mux
+	Runner *app.Runner
+}
+
+// Close stops the attachment's round loop.
+func (a *Attachment) Close() { a.Runner.Close() }
+
+// Attach installs e on node: incoming payloads on the engine's topic
+// route to it through a mux, and a runner (not yet started — call
+// Runner.Start) ticks its rounds every period against the node's
+// sampling service and transport. It fails when the node's transport
+// cannot carry app payloads.
+func Attach(node *runtime.Node, e app.Engine[string], period time.Duration) (*Attachment, error) {
+	mux := app.NewMux(node.Addr())
+	mux.Register(e)
+	if !node.SetAppHandler(mux.Handle) {
+		return nil, fmt.Errorf("workload: transport cannot carry app payloads")
+	}
+	src := app.SamplerSource{GetPeer: node.GetPeer}
+	ep := &app.NodeEndpoint{Addr: node.Addr(), Topic: e.Topic(), Send: node.SendApp}
+	return &Attachment{Mux: mux, Runner: app.NewRunner(e, src, ep, period)}, nil
+}
+
+// NodeSource pairs a runtime node with its workload engine as one
+// metrics source: embedding keeps every Node capability (Source,
+// LatencySource) and AppSnapshot adds the metrics.AppSource one.
+type NodeSource struct {
+	*runtime.Node
+	engine app.Engine[string]
+}
+
+// NewNodeSource wraps node and engine for collector registration.
+func NewNodeSource(node *runtime.Node, e app.Engine[string]) *NodeSource {
+	return &NodeSource{Node: node, engine: e}
+}
+
+// AppSnapshot implements metrics.AppSource.
+func (s *NodeSource) AppSnapshot() (app.Snapshot, bool) {
+	if s.engine == nil {
+		return app.Snapshot{}, false
+	}
+	return s.engine.Snapshot(), true
+}

@@ -59,6 +59,7 @@ import (
 	"io"
 	"time"
 
+	"peersampling/internal/app"
 	"peersampling/internal/config"
 	"peersampling/internal/core"
 	"peersampling/internal/daemon"
@@ -321,6 +322,26 @@ func NewRandomOverlay(cfg SimConfig, n int) *Simulation { return scenario.BuildR
 // NewLatticeOverlay returns a Simulation of n nodes bootstrapped as the
 // paper's structured ring lattice.
 func NewLatticeOverlay(cfg SimConfig, n int) *Simulation { return scenario.BuildLattice(cfg, n) }
+
+// Workload peer sources (re-exported from internal/app): the simulation
+// backends the broadcast and aggregate engines draw gossip partners from.
+type (
+	// WorkloadSource hands each simulated node its per-round peer stream.
+	WorkloadSource = app.Source[sim.NodeID]
+	// WorkloadSnapshot is one engine's counter snapshot.
+	WorkloadSnapshot = app.Snapshot
+)
+
+// NewUniformPeers returns the idealised uniform peer source over n nodes
+// that the gossip literature assumes. The salt separates RNG streams
+// between workloads sharing a seed (broadcast.UniformSalt,
+// aggregate.UniformSalt reproduce each package's historical results).
+func NewUniformPeers(n int, seed, salt uint64) WorkloadSource { return app.NewUniform(n, seed, salt) }
+
+// NewOverlayPeers draws workload gossip partners from the live views of a
+// peer sampling simulation; each workload round advances the overlay one
+// gossip cycle.
+func NewOverlayPeers(s *Simulation) WorkloadSource { return app.NewOverlay(s) }
 
 // Daemon runtime (re-exported from internal/config, internal/daemon and
 // internal/gateway): the configuration-driven service form of the node,

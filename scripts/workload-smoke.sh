@@ -1,0 +1,68 @@
+#!/bin/sh
+# Smoke-test the workload layer end to end on the subprocess fleet
+# driver: build psnode and experiments, run the live broadcast and
+# aggregation experiments (every member a real forked psnode running a
+# workload engine provisioned from its config file), and check that the
+# rumor survived the kill wave, the averaging variance collapsed, and
+# the engines' counters came back through both observation paths — the
+# experiments' own long-form CSVs and the agent-scraped metrics dump.
+# This is the guard that keeps the config -> daemon -> fleet -> agent
+# workload chain from rotting. Run from the repository root.
+set -eu
+
+tmp=$(mktemp -d)
+cleanup() {
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/psnode" ./cmd/psnode
+go build -o "$tmp/experiments" ./cmd/experiments
+
+"$tmp/experiments" -run livebroadcast,liveaggregate -driver subprocess \
+    -psnode "$tmp/psnode" -csv "$tmp/csv" \
+    -metrics-csv "$tmp/workload.csv" >"$tmp/out" 2>&1 || {
+    echo "workload experiments failed:" >&2
+    cat "$tmp/out" >&2
+    exit 1
+}
+
+for want in "rumor survived the kill wave: true" \
+    "variance decayed and size estimated: true" "subprocess driver"; do
+    if ! grep -q "$want" "$tmp/out"; then
+        echo "workload summary missing \"$want\":" >&2
+        cat "$tmp/out" >&2
+        exit 1
+    fi
+done
+
+# The experiments' own series: per-node infection state plus fleet-wide
+# coverage, and per-node estimates plus fleet-wide variance and the
+# size-estimation phase.
+for want in "^node,cycle,metric,value$" ",infected," ",coverage,"; do
+    if ! grep -q "$want" "$tmp/csv/livebroadcast_spread.csv"; then
+        echo "livebroadcast CSV missing pattern \"$want\":" >&2
+        head -n 20 "$tmp/csv/livebroadcast_spread.csv" >&2
+        exit 1
+    fi
+done
+for want in ",value," ",variance," ",size_estimate,"; do
+    if ! grep -q "$want" "$tmp/csv/liveaggregate_decay.csv"; then
+        echo "liveaggregate CSV missing pattern \"$want\":" >&2
+        head -n 20 "$tmp/csv/liveaggregate_decay.csv" >&2
+        exit 1
+    fi
+done
+
+# The same engine counters must also arrive through the remote metrics
+# source — agent /snapshot across a process boundary — in the periodic
+# dump, next to the node's own counters.
+for want in ",app_rounds," ",app_infected," ",app_value,"; do
+    if ! grep -q "$want" "$tmp/workload.csv"; then
+        echo "scraped metrics CSV missing pattern \"$want\":" >&2
+        head -n 20 "$tmp/workload.csv" >&2
+        exit 1
+    fi
+done
+
+echo "workload smoke OK: $(grep -c 'true' "$tmp/out") passing summaries, $(wc -l < "$tmp/workload.csv") scraped rows"
