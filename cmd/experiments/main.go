@@ -15,10 +15,12 @@
 // (single-contact cluster convergence), "hostile" (connection flood +
 // slowloris against a real cluster), "livechurn" (kill and respawn
 // waves against the fleet), "livebroadcast" (epidemic rumor spread over
-// the fleet's workload engines under a kill wave) and "liveaggregate"
-// (push-pull averaging variance decay and network size estimation) —
-// the experiments whose numbers are timing-dependent rather than
-// seeded. -list prints the full registry with each experiment's kind.
+// the fleet's workload engines under a kill wave), "liveaggregate"
+// (push-pull averaging variance decay and network size estimation) and
+// "livegateway" (every member's sampling gateway under ramping
+// load-generator pressure through a kill wave) — the experiments whose
+// numbers are timing-dependent rather than seeded. -list prints the
+// full registry with each experiment's kind.
 //
 // The live experiments run on a fleet driver selected with -driver:
 // "inproc" (default) keeps every node a goroutine in this process;

@@ -1,0 +1,114 @@
+// Command psload pressure-tests sampling gateways: an open-loop load
+// generator driving many emulated HTTP clients against one or more
+// psnode gateway endpoints, reporting latency quantiles, 429/503 rates
+// and sample freshness.
+//
+// Usage:
+//
+//	psload -targets 127.0.0.1:8080 -clients 100 -rps 10 -duration 10s
+//	psload -targets 127.0.0.1:8080,127.0.0.1:8081 -clients 1000 -rps 2 \
+//	       -n 4 -spoof-clients -csv load.csv
+//
+// -spoof-clients sends a distinct X-Forwarded-For address per emulated
+// client; pair it with gateway.trust_proxy_header=true on the target so
+// the per-client rate limit sees thousands of clients instead of one
+// loopback socket. -csv appends the run's per-target tallies in the
+// repository's long-form schema (target,cycle,metric,value).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"peersampling/internal/load"
+	"peersampling/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psload: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		targets     = flag.String("targets", "", "comma-separated gateway addresses (host:port), required")
+		clients     = flag.Int("clients", 100, "concurrent emulated clients")
+		rps         = flag.Float64("rps", 5, "requests per second per client")
+		duration    = flag.Duration("duration", 10*time.Second, "run length")
+		n           = flag.Int("n", 1, "peers requested per call (?n=)")
+		noKeepalive = flag.Bool("no-keepalive", false, "fresh TCP connection per request")
+		spoof       = flag.Bool("spoof-clients", false,
+			"send a distinct X-Forwarded-For per client (target needs gateway.trust_proxy_header)")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request timeout")
+		maxInFlight = flag.Int("max-inflight", 4, "per-client in-flight request cap")
+		csvPath     = flag.String("csv", "", "append the run's long-form CSV rows to this file")
+		cycle       = flag.Int("cycle", 0, "cycle column for -csv rows (stage index when scripting ramps)")
+	)
+	flag.Parse()
+
+	if *targets == "" {
+		return fmt.Errorf("-targets is required (gateway host:port list)")
+	}
+	var addrs []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			addrs = append(addrs, t)
+		}
+	}
+
+	// SIGINT/SIGTERM end the run early but still report what was measured.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := load.Run(ctx, load.Config{
+		Targets:           addrs,
+		Clients:           *clients,
+		RPS:               *rps,
+		Duration:          *duration,
+		N:                 *n,
+		DisableKeepAlives: *noKeepalive,
+		SpoofClients:      *spoof,
+		Timeout:           *timeout,
+		MaxInFlight:       *maxInFlight,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+
+	if *csvPath != "" {
+		if err := appendCSV(*csvPath, res.Rows(*cycle)); err != nil {
+			return err
+		}
+		fmt.Printf("appended %s\n", *csvPath)
+	}
+	return nil
+}
+
+// appendCSV appends rows to path, writing the long-form header only
+// when the file is new or empty — the same append contract as the
+// metrics dumper, so staged runs build one parseable document.
+func appendCSV(path string, rows []metrics.LongRow) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b strings.Builder
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		b.WriteString(metrics.LongHeader("target"))
+	}
+	metrics.AppendLongRows(&b, rows)
+	_, err = f.WriteString(b.String())
+	return err
+}

@@ -125,6 +125,11 @@ type GatewaySection struct {
 	RateRPS float64
 	// Burst is the per-client token bucket capacity. Hot-reloadable.
 	Burst int
+	// TrustProxyHeader rate-limits by the first X-Forwarded-For address
+	// instead of the socket address. Enable only behind a trusted reverse
+	// proxy (or for load harnesses emulating distinct clients) — the
+	// header is client-controlled. Hot-reloadable.
+	TrustProxyHeader bool
 }
 
 // Workload kinds accepted by WorkloadSection.Kind.

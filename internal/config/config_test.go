@@ -40,6 +40,7 @@ gateway:
   refresh: 500ms
   rate_rps: 2.5
   burst: 4
+  trust_proxy_header: true
 `
 	cfg := loadDoc(t, "psnode.yaml", doc)
 	if cfg.Node.Listen != "127.0.0.1:7946" {
@@ -64,7 +65,8 @@ gateway:
 		t.Errorf("control = %+v", cfg.Control)
 	}
 	if cfg.Gateway.Addr != "127.0.0.1:8080" || cfg.Gateway.BatchSize != 128 ||
-		cfg.Gateway.Refresh != 500*time.Millisecond || cfg.Gateway.RateRPS != 2.5 || cfg.Gateway.Burst != 4 {
+		cfg.Gateway.Refresh != 500*time.Millisecond || cfg.Gateway.RateRPS != 2.5 ||
+		cfg.Gateway.Burst != 4 || !cfg.Gateway.TrustProxyHeader {
 		t.Errorf("gateway = %+v", cfg.Gateway)
 	}
 }
@@ -209,13 +211,14 @@ func TestDiffClassification(t *testing.T) {
 	hot.Metrics.ReportInterval = 9 * time.Second
 	hot.Gateway.RateRPS = 100
 	hot.Gateway.Burst = 200
+	hot.Gateway.TrustProxyHeader = true
 	hot.Node.Contacts = []string{"127.0.0.1:7947"}
 	d := Diff(base, hot)
 	if len(d.Restart) != 0 {
 		t.Errorf("hot-only change classified restart: %v", d.Restart)
 	}
 	wantHot := []string{"node.contacts", "transport.max_conns", "transport.keepalive",
-		"metrics.report_interval", "gateway.rate_rps", "gateway.burst"}
+		"metrics.report_interval", "gateway.rate_rps", "gateway.burst", "gateway.trust_proxy_header"}
 	for _, path := range wantHot {
 		if !contains(d.Hot, path) {
 			t.Errorf("hot diff missing %s: %v", path, d.Hot)

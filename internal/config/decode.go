@@ -147,6 +147,7 @@ func decodeGateway(s *section, g *GatewaySection) error {
 		s.duration("refresh", &g.Refresh),
 		s.float("rate_rps", &g.RateRPS),
 		s.integer("burst", &g.Burst),
+		s.boolean("trust_proxy_header", &g.TrustProxyHeader),
 	)
 }
 
@@ -470,11 +471,12 @@ func encode(cfg Config) map[string]any {
 			"ready_file": cfg.Control.ReadyFile,
 		},
 		"gateway": map[string]any{
-			"addr":       cfg.Gateway.Addr,
-			"batch_size": cfg.Gateway.BatchSize,
-			"refresh":    cfg.Gateway.Refresh.String(),
-			"rate_rps":   cfg.Gateway.RateRPS,
-			"burst":      cfg.Gateway.Burst,
+			"addr":               cfg.Gateway.Addr,
+			"batch_size":         cfg.Gateway.BatchSize,
+			"refresh":            cfg.Gateway.Refresh.String(),
+			"rate_rps":           cfg.Gateway.RateRPS,
+			"burst":              cfg.Gateway.Burst,
+			"trust_proxy_header": cfg.Gateway.TrustProxyHeader,
 		},
 		"workload": map[string]any{
 			"kind":    cfg.Workload.Kind,

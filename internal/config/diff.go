@@ -62,6 +62,7 @@ func Diff(old, new Config) ReloadDiff {
 	changed("gateway.refresh", true, old.Gateway.Refresh != new.Gateway.Refresh)
 	changed("gateway.rate_rps", true, old.Gateway.RateRPS != new.Gateway.RateRPS)
 	changed("gateway.burst", true, old.Gateway.Burst != new.Gateway.Burst)
+	changed("gateway.trust_proxy_header", true, old.Gateway.TrustProxyHeader != new.Gateway.TrustProxyHeader)
 
 	// The whole workload section is restart-only: changing any knob means
 	// a different engine, and engine state (infection, running average)
@@ -93,5 +94,6 @@ func MergeHot(old, new Config) Config {
 	merged.Gateway.Refresh = new.Gateway.Refresh
 	merged.Gateway.RateRPS = new.Gateway.RateRPS
 	merged.Gateway.Burst = new.Gateway.Burst
+	merged.Gateway.TrustProxyHeader = new.Gateway.TrustProxyHeader
 	return merged
 }

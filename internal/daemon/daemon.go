@@ -185,18 +185,28 @@ func (m *Manager) Start() error {
 }
 
 // readyInfo assembles the ready-file payload: the agent's identity when
-// the control plugin runs, a bare one otherwise.
+// the control plugin runs, a bare one otherwise, plus the gateway's
+// bound address so a parent (or load harness) can find the sampling API
+// without parsing logs.
 func (m *Manager) readyInfo() fleet.AgentInfo {
-	for _, p := range m.pluginsSnapshot() {
-		if a, ok := p.(*agentPlugin); ok && a.agent != nil {
-			return a.agent.Info()
-		}
-	}
-	return fleet.AgentInfo{
+	info := fleet.AgentInfo{
 		PID:             os.Getpid(),
 		Addr:            m.node.Addr(),
 		StartUnixMillis: time.Now().UnixMilli(),
 	}
+	for _, p := range m.pluginsSnapshot() {
+		switch p := p.(type) {
+		case *agentPlugin:
+			if p.agent != nil {
+				info = p.agent.Info()
+			}
+		case *gatewayPlugin:
+			if p.gw != nil {
+				info.GatewayAddr = p.gw.Addr()
+			}
+		}
+	}
+	return info
 }
 
 // Reload diffs next against the running config and applies the hot
@@ -246,7 +256,7 @@ func (m *Manager) Reload(next config.Config) (config.ReloadDiff, error) {
 					p.pace.SetInterval(merged.Metrics.ReportInterval)
 				}
 			}
-		case "gateway.batch_size", "gateway.refresh", "gateway.rate_rps", "gateway.burst":
+		case "gateway.batch_size", "gateway.refresh", "gateway.rate_rps", "gateway.burst", "gateway.trust_proxy_header":
 			if path == firstGatewayPath(diff.Hot) {
 				for _, p := range plugins {
 					if gp, ok := p.(*gatewayPlugin); ok && gp.gw != nil {
@@ -281,7 +291,7 @@ func firstLimitsPath(hot []string) string {
 func firstGatewayPath(hot []string) string {
 	for _, p := range hot {
 		switch p {
-		case "gateway.batch_size", "gateway.refresh", "gateway.rate_rps", "gateway.burst":
+		case "gateway.batch_size", "gateway.refresh", "gateway.rate_rps", "gateway.burst", "gateway.trust_proxy_header":
 			return p
 		}
 	}
@@ -305,10 +315,11 @@ func (m *Manager) reportInterval() time.Duration { return m.Config().Metrics.Rep
 func (m *Manager) gatewayConfig() gateway.Config {
 	gw := m.Config().Gateway
 	return gateway.Config{
-		BatchSize: gw.BatchSize,
-		Refresh:   gw.Refresh,
-		RateRPS:   gw.RateRPS,
-		Burst:     gw.Burst,
+		BatchSize:        gw.BatchSize,
+		Refresh:          gw.Refresh,
+		RateRPS:          gw.RateRPS,
+		Burst:            gw.Burst,
+		TrustProxyHeader: gw.TrustProxyHeader,
 	}
 }
 

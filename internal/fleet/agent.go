@@ -25,6 +25,9 @@ type AgentInfo struct {
 	// ControlAddr is the agent's own HTTP listen address; empty when the
 	// daemon runs without an agent.
 	ControlAddr string `json:"control_addr"`
+	// GatewayAddr is the sampling gateway's HTTP listen address; empty
+	// when the daemon runs without a gateway.
+	GatewayAddr string `json:"gateway_addr,omitempty"`
 	// StartUnixMillis is when the daemon came up.
 	StartUnixMillis int64 `json:"start_unix_ms"`
 }

@@ -43,6 +43,12 @@ type Config struct {
 	// the inproc driver, written into the forked daemon's config for the
 	// subprocess one. Zero knobs keep the daemon defaults.
 	Workload config.WorkloadSection
+	// Gateway, when its Addr is set (usually "127.0.0.1:0"), serves the
+	// light-client sampling API on every member: an in-process
+	// gateway.Gateway for the inproc driver, the daemon's gateway plugin
+	// for the subprocess one. Zero knobs keep the daemon defaults; the
+	// bound address is reported by Member.GatewayAddr.
+	Gateway config.GatewaySection
 	// Name labels member i for metrics registration and logs; nil
 	// selects "node00", "node01", ...
 	Name func(i int) string
@@ -101,6 +107,28 @@ func (cfg Config) workloadSection() config.WorkloadSection {
 	return ws
 }
 
+// gatewaySection merges the template's gateway knobs over the daemon
+// defaults, mirroring workloadSection: both drivers serve identical
+// gateway parameters.
+func (cfg Config) gatewaySection() config.GatewaySection {
+	gs := config.Default().Gateway
+	gs.Addr = cfg.Gateway.Addr
+	if cfg.Gateway.BatchSize > 0 {
+		gs.BatchSize = cfg.Gateway.BatchSize
+	}
+	if cfg.Gateway.Refresh > 0 {
+		gs.Refresh = cfg.Gateway.Refresh
+	}
+	if cfg.Gateway.RateRPS > 0 {
+		gs.RateRPS = cfg.Gateway.RateRPS
+	}
+	if cfg.Gateway.Burst > 0 {
+		gs.Burst = cfg.Gateway.Burst
+	}
+	gs.TrustProxyHeader = cfg.Gateway.TrustProxyHeader
+	return gs
+}
+
 // Member is one node of a cluster. Observation methods keep working on a
 // dead inproc member (its final state stays readable) and fail with an
 // error on a dead subprocess member — the caller decides whether that is
@@ -117,6 +145,9 @@ type Member interface {
 	Snapshot() (metrics.NodeSnapshot, error)
 	// View returns the member's current partial view.
 	View() ([]transport.Descriptor, error)
+	// GatewayAddr is the member's sampling-gateway HTTP address; empty
+	// when the cluster template does not enable the gateway.
+	GatewayAddr() string
 }
 
 // Cluster boots and tears down a fleet of peer sampling nodes. All

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"peersampling/internal/gateway"
 	"peersampling/internal/metrics"
 	"peersampling/internal/runtime"
 	"peersampling/internal/transport"
@@ -34,6 +35,8 @@ type inprocMember struct {
 	src metrics.Source
 	// att is the member's workload attachment; nil without one.
 	att *workload.Attachment
+	// gw is the member's sampling gateway; nil without one.
+	gw *gateway.Gateway
 
 	mu    sync.Mutex
 	alive bool
@@ -41,6 +44,13 @@ type inprocMember struct {
 
 func (m *inprocMember) Name() string { return m.name }
 func (m *inprocMember) Addr() string { return m.node.Addr() }
+
+func (m *inprocMember) GatewayAddr() string {
+	if m.gw == nil {
+		return ""
+	}
+	return m.gw.Addr()
+}
 
 func (m *inprocMember) Alive() bool {
 	m.mu.Lock()
@@ -68,6 +78,9 @@ func (m *inprocMember) kill() error {
 	m.mu.Unlock()
 	if m.att != nil {
 		m.att.Close() // stop initiating app rounds before the transport goes
+	}
+	if m.gw != nil {
+		_ = m.gw.Close() // stop serving samples before the node's GetPeer goes
 	}
 	return m.node.Close()
 }
@@ -133,6 +146,21 @@ func (c *inprocCluster) Spawn(contacts []string) (Member, error) {
 	if m.att != nil {
 		m.att.Runner.Start()
 	}
+	if c.cfg.Gateway.Addr != "" {
+		gs := c.cfg.gatewaySection()
+		gw, err := gateway.New(gs.Addr, node, gateway.Config{
+			BatchSize:        gs.BatchSize,
+			Refresh:          gs.Refresh,
+			RateRPS:          gs.RateRPS,
+			Burst:            gs.Burst,
+			TrustProxyHeader: gs.TrustProxyHeader,
+		})
+		if err != nil {
+			_ = m.kill()
+			return nil, fmt.Errorf("fleet: member %s gateway: %w", m.name, err)
+		}
+		m.gw = gw
+	}
 
 	c.mu.Lock()
 	if c.closed {
@@ -146,6 +174,13 @@ func (c *inprocCluster) Spawn(contacts []string) (Member, error) {
 
 	if c.cfg.Collector != nil {
 		c.cfg.Collector.Register(m.name, m.src)
+		if m.gw != nil {
+			// The gateway registers as its own source ("node03-gw"), the
+			// same shape the daemon's gateway plugin produces: its serve
+			// counters and latency land in the exposition and long-form
+			// dumps beside the node's gossip counters.
+			c.cfg.Collector.RegisterFunc(m.name+"-gw", m.gw.Snapshot)
+		}
 	}
 	return m, nil
 }

@@ -63,6 +63,10 @@ type subprocessMember struct {
 func (m *subprocessMember) Name() string { return m.name }
 func (m *subprocessMember) Addr() string { return m.info.Addr }
 
+// GatewayAddr comes from the member's ready file: the daemon reports the
+// bound gateway address alongside its control address.
+func (m *subprocessMember) GatewayAddr() string { return m.info.GatewayAddr }
+
 func (m *subprocessMember) Alive() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -117,6 +121,9 @@ func (c *subprocessCluster) memberConfig(contacts []string, readyPath string) co
 	nc.Control.ReadyFile = readyPath
 	if c.cfg.Workload.Kind != "" {
 		nc.Workload = c.cfg.workloadSection()
+	}
+	if c.cfg.Gateway.Addr != "" {
+		nc.Gateway = c.cfg.gatewaySection()
 	}
 	return nc
 }

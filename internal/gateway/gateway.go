@@ -7,12 +7,15 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"net/netip"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"peersampling/internal/metrics"
+	"peersampling/internal/transport"
 )
 
 // Sampler is the slice of the peer sampling service the gateway needs:
@@ -33,6 +36,12 @@ type Config struct {
 	RateRPS float64
 	// Burst is the per-client bucket capacity. Zero selects 10.
 	Burst int
+	// TrustProxyHeader keys the rate limiter on the first address of a
+	// valid X-Forwarded-For header instead of the socket address. Enable
+	// only behind a trusted proxy — the header is client-controlled
+	// otherwise. (It is also what lets a loopback load generator emulate
+	// distinct clients against one gateway.)
+	TrustProxyHeader bool
 }
 
 // fill validates cfg and resolves zero values to defaults.
@@ -66,6 +75,11 @@ func (c *Config) fill() error {
 // GET /v1/sample?n=K with K distinct peer addresses from a periodically
 // refreshed cache, and GET /healthz with a status report. Construct with
 // New; the server runs until Close.
+//
+// The serve path is lock-free: each refresh publishes an immutable
+// sampleCache behind an atomic pointer, with response bodies for the
+// common n values pre-encoded at refresh time, so a cache hit writes
+// ready-made bytes without taking a mutex or allocating.
 type Gateway struct {
 	sampler Sampler
 	ln      net.Listener
@@ -73,11 +87,19 @@ type Gateway struct {
 	limiter *rateLimiter
 	now     func() time.Time
 
-	mu          sync.Mutex
-	cfg         Config
-	batch       []string  // current sample cache; never mutated after swap
-	refreshedAt time.Time // zero until the first refresh lands
-	health      func() any
+	// cache is the immutable published sample state; never nil after New.
+	cache atomic.Pointer[sampleCache]
+	// trustProxy mirrors Config.TrustProxyHeader for lock-free reads on
+	// the serve path.
+	trustProxy atomic.Bool
+
+	// latency records the service time of successful sample responses.
+	latency transport.LatencyHistogram
+
+	// mu guards the cold state only: tuning and the health callback.
+	mu     sync.Mutex
+	cfg    Config
+	health func() any
 
 	requests    atomic.Uint64
 	peersServed atomic.Uint64
@@ -113,6 +135,7 @@ func New(addr string, sampler Sampler, cfg Config) (*Gateway, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	g.trustProxy.Store(cfg.TrustProxyHeader)
 	g.limiter = newRateLimiter(cfg.RateRPS, cfg.Burst, func() time.Time { return g.now() })
 	g.refresh()
 	mux := http.NewServeMux()
@@ -145,8 +168,8 @@ func (g *Gateway) SetHealth(fn func() any) {
 }
 
 // SetTuning replaces the gateway's tuning live: batch size and refresh
-// interval apply from the next refresh round, rate and burst to the next
-// request. The listen address is fixed at construction.
+// interval apply from the next refresh round, rate, burst and the proxy
+// trust to the next request. The listen address is fixed at construction.
 func (g *Gateway) SetTuning(cfg Config) error {
 	if err := cfg.fill(); err != nil {
 		return err
@@ -154,6 +177,7 @@ func (g *Gateway) SetTuning(cfg Config) error {
 	g.mu.Lock()
 	g.cfg = cfg
 	g.mu.Unlock()
+	g.trustProxy.Store(cfg.TrustProxyHeader)
 	g.limiter.setRate(cfg.RateRPS, cfg.Burst)
 	return nil
 }
@@ -186,12 +210,13 @@ func (g *Gateway) refreshLoop() {
 	}
 }
 
-// refresh draws a fresh batch of distinct peers through GetPeer. GetPeer
-// returns one view entry per call, so the refresh loops until it has
-// BatchSize distinct addresses or stops learning new ones; a node whose
-// view is smaller than the batch target simply yields a smaller batch.
-// An empty view empties the cache — serving stale peers from a node that
-// lost its whole view would hide a partition from clients.
+// refresh draws a fresh batch of distinct peers through GetPeer and
+// publishes it as a new immutable sampleCache. GetPeer returns one view
+// entry per call, so the refresh loops until it has BatchSize distinct
+// addresses or stops learning new ones; a node whose view is smaller
+// than the batch target simply yields a smaller batch. An empty view
+// empties the cache — serving stale peers from a node that lost its
+// whole view would hide a partition from clients.
 func (g *Gateway) refresh() {
 	g.mu.Lock()
 	target := g.cfg.BatchSize
@@ -213,67 +238,259 @@ func (g *Gateway) refresh() {
 		batch = append(batch, peer)
 	}
 	g.refreshes.Add(1)
-	g.mu.Lock()
-	g.batch = batch
-	g.refreshedAt = g.now()
-	g.mu.Unlock()
+	g.cache.Store(newSampleCache(batch, target, g.now()))
 }
 
-// sampleResponse is the /v1/sample JSON body.
+// preEncodedN is the largest sample size served from bodies pre-encoded
+// at refresh time; preVariants is how many independently drawn subsets
+// back each of those sizes, round-robined across requests so repeated
+// callers still see sample diversity. Larger n is assembled per request
+// from pre-encoded per-peer fragments into a pooled buffer.
+const (
+	preEncodedN = 8
+	preVariants = 16
+)
+
+// Fixed body pieces of the /v1/sample JSON shape (see sampleResponse).
+var (
+	bodyPrefix = []byte(`{"peers":[`)
+	bodyCount  = []byte(`],"count":`)
+)
+
+// sampleCache is one published refresh result. Everything in it is
+// immutable after construction except the round-robin cursors, so the
+// serve path may read it without synchronization.
+type sampleCache struct {
+	peers           []string
+	target          int // batch target at refresh time; the n validation cap
+	refreshedAt     time.Time
+	refreshedUnixMS int64
+
+	// bodies[n-1] holds complete pre-encoded response bodies for sample
+	// size n; next[n-1] round-robins over them.
+	bodies [][][]byte
+	next   []atomic.Uint64
+
+	// frags[i] is peers[i] pre-encoded as a JSON string, the building
+	// block of assembled responses; suffix closes every body after the
+	// count value.
+	frags  [][]byte
+	suffix []byte
+}
+
+// newSampleCache pre-encodes the batch. The cost — a few hundred small
+// encodes — is paid once per refresh interval, not per request.
+func newSampleCache(peers []string, target int, now time.Time) *sampleCache {
+	if target < 1 {
+		target = 1
+	}
+	c := &sampleCache{
+		peers:           peers,
+		target:          target,
+		refreshedAt:     now,
+		refreshedUnixMS: now.UnixMilli(),
+	}
+	c.suffix = fmt.Appendf(nil, ",\"refreshed_unix_ms\":%d}\n", c.refreshedUnixMS)
+	c.frags = make([][]byte, len(peers))
+	for i, p := range peers {
+		frag, err := json.Marshal(p)
+		if err != nil { // a string cannot fail to marshal; seatbelt only
+			frag = []byte(`""`)
+		}
+		c.frags[i] = frag
+	}
+	maxPre := min(preEncodedN, len(peers))
+	c.bodies = make([][][]byte, maxPre)
+	c.next = make([]atomic.Uint64, maxPre)
+	if maxPre >= 1 {
+		// n=1: one body per peer in a shuffled order, so the round-robin
+		// serves every peer uniformly.
+		order := rand.Perm(len(peers))
+		one := make([][]byte, len(peers))
+		for k, pi := range order {
+			one[k] = c.encodeBody([]int{pi})
+		}
+		c.bodies[0] = one
+	}
+	idx := make([]int, len(peers))
+	for n := 2; n <= maxPre; n++ {
+		variants := make([][]byte, preVariants)
+		for v := range variants {
+			for i := range idx {
+				idx[i] = i
+			}
+			// Partial Fisher–Yates: the first n slots end up a uniform
+			// n-subset, independently per variant.
+			for i := 0; i < n; i++ {
+				j := i + rand.IntN(len(idx)-i)
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+			variants[v] = c.encodeBody(idx[:n])
+		}
+		c.bodies[n-1] = variants
+	}
+	return c
+}
+
+// encodeBody renders one complete response body for the selected peer
+// indices.
+func (c *sampleCache) encodeBody(sel []int) []byte {
+	var b []byte
+	b = append(b, bodyPrefix...)
+	for i, pi := range sel {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, c.frags[pi]...)
+	}
+	b = append(b, bodyCount...)
+	b = strconv.AppendInt(b, int64(len(sel)), 10)
+	b = append(b, c.suffix...)
+	return b
+}
+
+// body returns a ready-made response for a pre-encoded n, round-robining
+// the variants. n must be in [1, min(preEncodedN, len(peers))].
+func (c *sampleCache) body(n int) []byte {
+	variants := c.bodies[n-1]
+	k := c.next[n-1].Add(1)
+	return variants[k%uint64(len(variants))]
+}
+
+// scratch is the per-request workspace of the assembled (large-n) path,
+// pooled so the steady state allocates nothing.
+type scratch struct {
+	buf []byte
+	idx []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// appendAssembled writes a response for n past the pre-encoded sizes into
+// s.buf: a fresh partial Fisher–Yates over the peer indices, peers copied
+// from the cache's fragments.
+func (c *sampleCache) appendAssembled(s *scratch, n int) {
+	s.idx = s.idx[:0]
+	for i := range c.peers {
+		s.idx = append(s.idx, i)
+	}
+	b := append(s.buf[:0], bodyPrefix...)
+	for i := 0; i < n; i++ {
+		j := i + rand.IntN(len(s.idx)-i)
+		s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, c.frags[s.idx[i]]...)
+	}
+	b = append(b, bodyCount...)
+	b = strconv.AppendInt(b, int64(n), 10)
+	s.buf = append(b, c.suffix...)
+}
+
+// sampleResponse is the /v1/sample JSON body. Serving writes pre-encoded
+// bytes of this exact shape; the struct itself is the decode side for
+// clients and tests. RefreshedUnixMS identifies the cache generation the
+// sample came from, so a client can judge freshness against its own
+// clock without the server computing a per-request age.
 type sampleResponse struct {
-	Peers      []string `json:"peers"`
-	Count      int      `json:"count"`
-	CacheAgeMS int64    `json:"cache_age_ms"`
+	Peers           []string `json:"peers"`
+	Count           int      `json:"count"`
+	RefreshedUnixMS int64    `json:"refreshed_unix_ms"`
+}
+
+// parseSampleN extracts the n query parameter from a raw query string
+// without allocating. present reports whether n appeared at all; ok=false
+// means the request must be rejected (non-integer, out of range for int,
+// empty value, or a duplicated n parameter — ambiguity is rejected, not
+// resolved). Values are read literally: a percent-encoded digit is not an
+// integer here, which only tightens validation.
+func parseSampleN(raw string) (n int, present, ok bool) {
+	for len(raw) > 0 {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		var key, val string
+		if j := strings.IndexByte(seg, '='); j >= 0 {
+			key, val = seg[:j], seg[j+1:]
+		} else {
+			key = seg
+		}
+		if key != "n" {
+			continue
+		}
+		if present {
+			return 0, true, false
+		}
+		present = true
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, true, false
+		}
+		n = v
+	}
+	return n, present, true
 }
 
 func (g *Gateway) handleSample(w http.ResponseWriter, r *http.Request) {
+	start := g.now()
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	g.mu.Lock()
-	batch, refreshedAt, target := g.batch, g.refreshedAt, g.cfg.BatchSize
-	g.mu.Unlock()
-
-	n := 1
-	if raw := r.URL.Query().Get("n"); raw != "" {
-		v, err := strconv.Atoi(raw)
-		if err != nil || v < 1 || v > target {
-			http.Error(w, fmt.Sprintf("n must be an integer in [1,%d]", target), http.StatusBadRequest)
-			return
-		}
-		n = v
+	c := g.cache.Load()
+	// The batch target rides the cache snapshot, so validation stays
+	// lock-free; a SetTuning batch change takes effect with its first
+	// refresh, which is also when it changes what can be served.
+	n, present, ok := parseSampleN(r.URL.RawQuery)
+	if !ok || (present && (n < 1 || n > c.target)) {
+		http.Error(w, fmt.Sprintf("n must be an integer in [1,%d]", c.target), http.StatusBadRequest)
+		return
 	}
-	if ok, retryAfter := g.limiter.allow(clientKey(r)); !ok {
+	if !present {
+		n = 1
+	}
+	if allowed, retryAfter := g.limiter.allow(g.clientKey(r)); !allowed {
 		g.rateLimited.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)+1))
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 		return
 	}
-	if len(batch) == 0 {
+	if len(c.peers) == 0 {
 		g.unavailable.Add(1)
 		http.Error(w, "no peers available", http.StatusServiceUnavailable)
 		return
 	}
-	if n > len(batch) {
-		n = len(batch)
+	if n > len(c.peers) {
+		n = len(c.peers)
 	}
-	// A partial Fisher–Yates over a copy: the first n slots end up a
-	// uniform n-subset of the batch, each request independently.
-	peers := make([]string, len(batch))
-	copy(peers, batch)
-	for i := 0; i < n; i++ {
-		j := i + rand.IntN(len(peers)-i)
-		peers[i], peers[j] = peers[j], peers[i]
+	setJSONContentType(w.Header())
+	if n <= preEncodedN {
+		_, _ = w.Write(c.body(n))
+	} else {
+		s := scratchPool.Get().(*scratch)
+		c.appendAssembled(s, n)
+		_, _ = w.Write(s.buf)
+		scratchPool.Put(s)
 	}
 	g.requests.Add(1)
 	g.peersServed.Add(uint64(n))
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(sampleResponse{
-		Peers:      peers[:n],
-		Count:      n,
-		CacheAgeMS: g.now().Sub(refreshedAt).Milliseconds(),
-	})
+	g.latency.Observe(g.now().Sub(start))
+}
+
+// setJSONContentType sets Content-Type without http.Header.Set's
+// per-call []string allocation: the value slice is shared, and a header
+// map that already carries the key (a keep-alive connection's reused
+// header storage) is left alone.
+var jsonContentType = []string{"application/json"}
+
+func setJSONContentType(h http.Header) {
+	if _, exists := h["Content-Type"]; !exists {
+		h["Content-Type"] = jsonContentType
+	}
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -281,15 +498,16 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	c := g.cache.Load()
 	g.mu.Lock()
-	cacheSize, refreshedAt, health := len(g.batch), g.refreshedAt, g.health
+	health := g.health
 	g.mu.Unlock()
 	report := map[string]any{
 		"status":       "ok",
-		"cache_size":   cacheSize,
-		"cache_age_ms": g.now().Sub(refreshedAt).Milliseconds(),
+		"cache_size":   len(c.peers),
+		"cache_age_ms": g.now().Sub(c.refreshedAt).Milliseconds(),
 	}
-	if cacheSize == 0 {
+	if len(c.peers) == 0 {
 		report["status"] = "empty-cache"
 	}
 	if health != nil {
@@ -301,7 +519,22 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // clientKey identifies the client for rate limiting: the remote IP,
 // ignoring the ephemeral port so one host's connections share a bucket.
-func clientKey(r *http.Request) string {
+// With TrustProxyHeader on, a well-formed X-Forwarded-For wins: the
+// first (client-most) address, validated as an IP so junk cannot mint
+// arbitrary bucket keys; malformed headers fall back to the socket.
+func (g *Gateway) clientKey(r *http.Request) string {
+	if g.trustProxy.Load() {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			first := xff
+			if i := strings.IndexByte(first, ','); i >= 0 {
+				first = first[:i]
+			}
+			first = strings.TrimSpace(first)
+			if _, err := netip.ParseAddr(first); err == nil {
+				return first
+			}
+		}
+	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
 		return r.RemoteAddr
@@ -314,10 +547,9 @@ func clientKey(r *http.Request) string {
 // Cycles column so the dumper's cycle-granularity sampling applies to
 // gateway sources unchanged.
 func (g *Gateway) Snapshot(unixMillis int64) metrics.NodeSnapshot {
-	g.mu.Lock()
-	cacheSize, refreshedAt := len(g.batch), g.refreshedAt
-	g.mu.Unlock()
+	c := g.cache.Load()
 	refreshes := g.refreshes.Load()
+	lat := g.latency.Snapshot()
 	return metrics.NodeSnapshot{
 		Addr:       g.Addr(),
 		UnixMillis: unixMillis,
@@ -329,8 +561,9 @@ func (g *Gateway) Snapshot(unixMillis int64) metrics.NodeSnapshot {
 			Unavailable:     g.unavailable.Load(),
 			Refreshes:       refreshes,
 			Clients:         g.limiter.clients(),
-			CacheSize:       cacheSize,
-			CacheAgeSeconds: g.now().Sub(refreshedAt).Seconds(),
+			CacheSize:       len(c.peers),
+			CacheAgeSeconds: g.now().Sub(c.refreshedAt).Seconds(),
+			Latency:         &lat,
 		},
 	}
 }

@@ -89,8 +89,8 @@ func TestSampleReturnsDistinctPeers(t *testing.T) {
 			t.Fatalf("unexpected peer %q", p)
 		}
 	}
-	if body.CacheAgeMS < 0 {
-		t.Fatalf("cache age = %d", body.CacheAgeMS)
+	if body.RefreshedUnixMS <= 0 {
+		t.Fatalf("refreshed_unix_ms = %d", body.RefreshedUnixMS)
 	}
 
 	// Default n is 1.
@@ -273,17 +273,57 @@ func TestSnapshotFlowsThroughPipeline(t *testing.T) {
 func TestLimiterPrunesRecoveredBuckets(t *testing.T) {
 	now := time.Unix(0, 0)
 	l := newRateLimiter(1, 2, func() time.Time { return now })
-	for i := 0; i < limiterPruneThreshold; i++ {
-		l.allow(fmt.Sprintf("10.0.%d.%d", i/256, i%256))
+	// Pruning is per shard, so the test fills one shard to its threshold:
+	// keys that hash to the same shard as the late-arriving trigger key.
+	const trigger = "10.99.99.99"
+	target := l.shard(trigger)
+	var keys []string
+	for i := 0; len(keys) < limiterPruneThreshold/limiterShards; i++ {
+		k := fmt.Sprintf("10.0.%d.%d", i/256, i%256)
+		if l.shard(k) == target {
+			keys = append(keys, k)
+		}
 	}
-	if l.clients() != limiterPruneThreshold {
-		t.Fatalf("clients = %d", l.clients())
+	for _, k := range keys {
+		l.allow(k)
+	}
+	if l.clients() != len(keys) {
+		t.Fatalf("clients = %d, want %d", l.clients(), len(keys))
 	}
 	// All buckets recover after 2s (burst 2 at 1/s); the next new client
-	// triggers the sweep.
+	// in the full shard triggers the sweep.
 	now = now.Add(3 * time.Second)
-	l.allow("10.99.99.99")
+	l.allow(trigger)
 	if got := l.clients(); got != 1 {
 		t.Fatalf("clients after prune = %d, want 1", got)
+	}
+}
+
+func TestLimiterShardsIndependently(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(1, 1, func() time.Time { return now })
+	// Distinct clients land in their own buckets regardless of shard:
+	// each gets its single burst token, then a 429.
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("10.1.%d.%d", i/256, i%256)
+		if ok, _ := l.allow(key); !ok {
+			t.Fatalf("first request for %s denied", key)
+		}
+		if ok, _ := l.allow(key); ok {
+			t.Fatalf("second request for %s allowed past burst 1", key)
+		}
+	}
+	if got := l.clients(); got != 64 {
+		t.Fatalf("clients = %d, want 64", got)
+	}
+	// setRate reaches every shard: raising the burst re-admits everyone
+	// after refill.
+	l.setRate(1000, 10)
+	now = now.Add(time.Second)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("10.1.%d.%d", i/256, i%256)
+		if ok, _ := l.allow(key); !ok {
+			t.Fatalf("request for %s denied after setRate", key)
+		}
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package gateway
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, which would fail the allocation-budget test.
+const raceEnabled = true

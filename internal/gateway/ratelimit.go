@@ -6,8 +6,15 @@ import (
 	"time"
 )
 
-// limiterPruneThreshold is the tracked-bucket count past which allow
-// sweeps out fully-recovered buckets. A full bucket encodes no history —
+// limiterShards is how many independently locked bucket maps the limiter
+// spreads clients over. Sixteen shards keep the expected queue at any one
+// mutex negligible even with thousands of concurrent clients, at the cost
+// of sixteen small maps.
+const limiterShards = 16
+
+// limiterPruneThreshold is the total tracked-bucket count past which a
+// shard's allow sweeps out its fully-recovered buckets (each shard prunes
+// at its 1/limiterShards share). A full bucket encodes no history —
 // dropping it and re-creating it on the client's next request is
 // indistinguishable from keeping it — so the sweep bounds memory under
 // client churn without ever loosening a limit.
@@ -16,13 +23,21 @@ const limiterPruneThreshold = 1024
 // rateLimiter throttles clients with one token bucket each: a request
 // spends a token, tokens refill continuously at rate per second up to
 // burst. Buckets are created on first sight and pruned once they recover
-// fully, so the map tracks only clients with outstanding debt.
+// fully, so the maps track only clients with outstanding debt. Clients
+// are spread over independently locked shards by key hash, so concurrent
+// requests from distinct clients rarely contend on a mutex.
 type rateLimiter struct {
+	now    func() time.Time
+	shards [limiterShards]limiterShard
+}
+
+// limiterShard is one lock's worth of client buckets. Rate and burst are
+// replicated per shard so allow touches exactly one mutex.
+type limiterShard struct {
 	mu      sync.Mutex
 	rate    float64 // tokens per second
 	burst   float64
 	buckets map[string]*bucket
-	now     func() time.Time
 }
 
 // bucket is one client's token balance as of last.
@@ -32,45 +47,60 @@ type bucket struct {
 }
 
 func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
-	return &rateLimiter{
-		rate:    rate,
-		burst:   float64(burst),
-		buckets: make(map[string]*bucket),
-		now:     now,
+	l := &rateLimiter{now: now}
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.rate = rate
+		s.burst = float64(burst)
+		s.buckets = make(map[string]*bucket)
 	}
+	return l
+}
+
+// shard maps a client key to its shard: inlined FNV-1a, so the hot path
+// hashes without allocating.
+func (l *rateLimiter) shard(key string) *limiterShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &l.shards[h%limiterShards]
 }
 
 // allow spends one token from key's bucket. When the bucket is empty it
 // reports false and how long until a token will be available — the 429
 // Retry-After value.
 func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	s := l.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	now := l.now()
-	b := l.buckets[key]
+	b := s.buckets[key]
 	if b == nil {
-		if len(l.buckets) >= limiterPruneThreshold {
-			l.prune(now)
+		if len(s.buckets) >= limiterPruneThreshold/limiterShards {
+			s.prune(now)
 		}
-		b = &bucket{tokens: l.burst, last: now}
-		l.buckets[key] = b
+		b = &bucket{tokens: s.burst, last: now}
+		s.buckets[key] = b
 	} else {
-		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.tokens = math.Min(s.burst, b.tokens+now.Sub(b.last).Seconds()*s.rate)
 		b.last = now
 	}
 	if b.tokens < 1 {
-		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		wait := time.Duration((1 - b.tokens) / s.rate * float64(time.Second))
 		return false, wait
 	}
 	b.tokens--
 	return true, 0
 }
 
-// prune drops buckets that have refilled completely. Caller holds mu.
-func (l *rateLimiter) prune(now time.Time) {
-	for key, b := range l.buckets {
-		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
-			delete(l.buckets, key)
+// prune drops the shard's buckets that have refilled completely. Caller
+// holds the shard's mu.
+func (s *limiterShard) prune(now time.Time) {
+	for key, b := range s.buckets {
+		if math.Min(s.burst, b.tokens+now.Sub(b.last).Seconds()*s.rate) >= s.burst {
+			delete(s.buckets, key)
 		}
 	}
 }
@@ -78,18 +108,26 @@ func (l *rateLimiter) prune(now time.Time) {
 // setRate replaces the refill rate and burst capacity; existing balances
 // are clamped to the new burst so a lowered cap takes effect at once.
 func (l *rateLimiter) setRate(rate float64, burst int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.rate = rate
-	l.burst = float64(burst)
-	for _, b := range l.buckets {
-		b.tokens = math.Min(b.tokens, l.burst)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		s.rate = rate
+		s.burst = float64(burst)
+		for _, b := range s.buckets {
+			b.tokens = math.Min(b.tokens, s.burst)
+		}
+		s.mu.Unlock()
 	}
 }
 
-// clients reports how many buckets are currently tracked.
+// clients reports how many buckets are currently tracked across shards.
 func (l *rateLimiter) clients() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.buckets)
+	total := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		total += len(s.buckets)
+		s.mu.Unlock()
+	}
+	return total
 }

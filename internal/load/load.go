@@ -1,0 +1,402 @@
+// Package load generates open-loop HTTP sampling pressure against
+// gateway endpoints: a configurable number of emulated clients, each
+// ticking at its own request rate against an assigned gateway,
+// recording per-request serve latency and sample freshness (how stale
+// the returned batch's refresh stamp is) into the same fixed-bucket
+// histograms the transport layer uses. The generator is open-loop — a
+// slow server does not slow the offered load, it fills the in-flight
+// cap and the overflow is counted as dropped ticks — which is what
+// makes 429/503 rates and latency quantiles under pressure meaningful.
+// Results render as the repository's shared long-form CSV schema, so a
+// load run's series land beside simulator traces and live fleet dumps.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peersampling/internal/metrics"
+	"peersampling/internal/transport"
+)
+
+// Config parameterises one load run. Targets and Clients are required;
+// zero values of the remaining knobs select the documented defaults.
+type Config struct {
+	// Targets are the gateway HTTP addresses ("host:port") under load.
+	// Clients are assigned round-robin across them.
+	Targets []string
+	// Clients is how many concurrent emulated clients tick.
+	Clients int
+	// RPS is each client's request rate; total offered load is
+	// Clients×RPS. Zero selects 1.
+	RPS float64
+	// Duration bounds the run; zero selects one second.
+	Duration time.Duration
+	// N is the ?n= peers-per-request parameter; zero selects 1.
+	N int
+	// DisableKeepAlives forces a fresh TCP connection per request,
+	// trading connection reuse for a handshake-heavy workload.
+	DisableKeepAlives bool
+	// SpoofClients sends a distinct per-client X-Forwarded-For address,
+	// so a gateway with gateway.trust_proxy_header enabled rate-limits
+	// the emulated clients individually instead of collapsing every
+	// loopback socket into one bucket.
+	SpoofClients bool
+	// Timeout bounds one request; zero selects 2 seconds.
+	Timeout time.Duration
+	// MaxInFlight caps one client's concurrent requests; ticks landing
+	// on a saturated client are counted as dropped, keeping the
+	// generator open-loop instead of queueing unbounded goroutines
+	// behind a stalled server. Zero selects 4.
+	MaxInFlight int
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if len(cfg.Targets) == 0 {
+		return cfg, errors.New("load: no targets")
+	}
+	for _, t := range cfg.Targets {
+		if t == "" {
+			return cfg, errors.New("load: empty target address")
+		}
+	}
+	if cfg.Clients <= 0 {
+		return cfg, fmt.Errorf("load: clients must be positive, got %d", cfg.Clients)
+	}
+	if cfg.RPS <= 0 {
+		cfg.RPS = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.N <= 0 {
+		cfg.N = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	return cfg, nil
+}
+
+// targetCounters accumulates one target's outcomes with atomics only:
+// every client hitting the target shares this struct lock-free.
+type targetCounters struct {
+	ok          atomic.Uint64
+	rateLimited atomic.Uint64
+	unavailable atomic.Uint64
+	badStatus   atomic.Uint64
+	errors      atomic.Uint64
+	dropped     atomic.Uint64
+
+	latency   transport.LatencyHistogram
+	freshness transport.LatencyHistogram
+	maxNs     atomic.Uint64
+}
+
+func (c *targetCounters) observeLatency(d time.Duration) {
+	c.latency.Observe(d)
+	ns := uint64(d)
+	for {
+		cur := c.maxNs.Load()
+		if ns <= cur || c.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// TargetStats is one target's final tally.
+type TargetStats struct {
+	// Target is the gateway address the stats describe ("total" on the
+	// aggregate row of Result.Totals).
+	Target string
+	// OK counts 200 responses; RateLimited 429s; Unavailable 503s;
+	// BadStatus every other HTTP status; Errors transport-level request
+	// failures (dial, timeout, malformed body); Dropped ticks skipped
+	// because the client's in-flight cap was full.
+	OK, RateLimited, Unavailable, BadStatus, Errors, Dropped uint64
+	// Latency is the serve-time histogram of OK responses;
+	// LatencyMaxSeconds its exact maximum (the histogram's last bucket
+	// is a 10s bound, not a max).
+	Latency           transport.LatencySnapshot
+	LatencyMaxSeconds float64
+	// Freshness is the sample-age histogram of OK responses: client
+	// receive time minus the response's refreshed_unix_ms stamp.
+	Freshness transport.LatencySnapshot
+}
+
+// Sent is every request that left the client (everything but dropped
+// ticks).
+func (s TargetStats) Sent() uint64 {
+	return s.OK + s.RateLimited + s.Unavailable + s.BadStatus + s.Errors
+}
+
+// Result is one load run's outcome, per target and in aggregate.
+type Result struct {
+	Params  Config
+	Elapsed time.Duration
+	Targets []TargetStats
+}
+
+// Totals merges every target's stats into one aggregate row.
+func (r *Result) Totals() TargetStats {
+	total := TargetStats{Target: "total"}
+	for _, t := range r.Targets {
+		total.OK += t.OK
+		total.RateLimited += t.RateLimited
+		total.Unavailable += t.Unavailable
+		total.BadStatus += t.BadStatus
+		total.Errors += t.Errors
+		total.Dropped += t.Dropped
+		total.Latency.Add(t.Latency)
+		total.Freshness.Add(t.Freshness)
+		if t.LatencyMaxSeconds > total.LatencyMaxSeconds {
+			total.LatencyMaxSeconds = t.LatencyMaxSeconds
+		}
+	}
+	return total
+}
+
+// Rows renders the run as long-form rows keyed by target address, one
+// block per target plus the "total" aggregate, all at the given cycle
+// (a stage index when ramping load in stages).
+func (r *Result) Rows(cycle int) []metrics.LongRow {
+	rows := make([]metrics.LongRow, 0, (len(r.Targets)+1)*12)
+	for _, t := range r.Targets {
+		rows = append(rows, statRows(t, cycle)...)
+	}
+	rows = append(rows, statRows(r.Totals(), cycle)...)
+	return rows
+}
+
+func statRows(t TargetStats, cycle int) []metrics.LongRow {
+	return []metrics.LongRow{
+		{Key: t.Target, Cycle: cycle, Metric: "load_ok", Value: float64(t.OK)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_rate_limited", Value: float64(t.RateLimited)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_unavailable", Value: float64(t.Unavailable)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_bad_status", Value: float64(t.BadStatus)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_errors", Value: float64(t.Errors)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_dropped", Value: float64(t.Dropped)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_latency_p50", Value: t.Latency.Quantile(0.50)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_latency_p95", Value: t.Latency.Quantile(0.95)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_latency_p99", Value: t.Latency.Quantile(0.99)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_latency_max", Value: t.LatencyMaxSeconds},
+		{Key: t.Target, Cycle: cycle, Metric: "load_freshness_p50", Value: t.Freshness.Quantile(0.50)},
+		{Key: t.Target, Cycle: cycle, Metric: "load_freshness_p99", Value: t.Freshness.Quantile(0.99)},
+	}
+}
+
+// Render returns the human-readable run summary.
+func (r *Result) Render() string {
+	var b strings.Builder
+	total := r.Totals()
+	fmt.Fprintf(&b, "load: %d clients × %.3g rps against %d gateways for %v (n=%d)\n",
+		r.Params.Clients, r.Params.RPS, len(r.Targets), r.Elapsed.Round(time.Millisecond), r.Params.N)
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s %8s %8s %8s %9s %9s %9s %9s\n",
+		"target", "ok", "429", "503", "bad", "errors", "dropped", "p50ms", "p95ms", "p99ms", "maxms")
+	row := func(t TargetStats) {
+		fmt.Fprintf(&b, "%-24s %8d %8d %8d %8d %8d %8d %9.2f %9.2f %9.2f %9.2f\n",
+			t.Target, t.OK, t.RateLimited, t.Unavailable, t.BadStatus, t.Errors, t.Dropped,
+			t.Latency.Quantile(0.50)*1000, t.Latency.Quantile(0.95)*1000,
+			t.Latency.Quantile(0.99)*1000, t.LatencyMaxSeconds*1000)
+	}
+	for _, t := range r.Targets {
+		row(t)
+	}
+	row(total)
+	fmt.Fprintf(&b, "sample freshness: p50=%.1fms p99=%.1fms over %d samples\n",
+		total.Freshness.Quantile(0.50)*1000, total.Freshness.Quantile(0.99)*1000, total.Freshness.Count)
+	return b.String()
+}
+
+// sampleBody is the slice of the gateway's /v1/sample response the
+// generator reads: the refresh stamp for freshness, the peer count as a
+// well-formedness check.
+type sampleBody struct {
+	Count           int   `json:"count"`
+	RefreshedUnixMS int64 `json:"refreshed_unix_ms"`
+}
+
+// Run drives the configured load until Duration elapses or ctx is
+// cancelled (whichever first; cancellation is not an error) and returns
+// the tally. The error covers configuration problems only — request
+// failures are data, counted per target.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// One shared transport: connection reuse across same-target clients
+	// is the realistic shape (a sidecar or SDK pools per host), and the
+	// idle pool must fit every client or keep-alive silently degrades to
+	// reconnect-per-request at high client counts.
+	tr := &http.Transport{
+		DisableKeepAlives:   cfg.DisableKeepAlives,
+		MaxIdleConns:        cfg.Clients + len(cfg.Targets),
+		MaxIdleConnsPerHost: cfg.Clients/len(cfg.Targets) + 1,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	defer tr.CloseIdleConnections()
+	hc := &http.Client{Transport: tr, Timeout: cfg.Timeout}
+
+	counters := make([]*targetCounters, len(cfg.Targets))
+	for i := range counters {
+		counters[i] = &targetCounters{}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			runClient(runCtx, hc, cfg, idx, counters[idx%len(cfg.Targets)], interval)
+		}(i)
+	}
+	wg.Wait()
+
+	res := &Result{Params: cfg, Elapsed: time.Since(start)}
+	for i, target := range cfg.Targets {
+		c := counters[i]
+		res.Targets = append(res.Targets, TargetStats{
+			Target:            target,
+			OK:                c.ok.Load(),
+			RateLimited:       c.rateLimited.Load(),
+			Unavailable:       c.unavailable.Load(),
+			BadStatus:         c.badStatus.Load(),
+			Errors:            c.errors.Load(),
+			Dropped:           c.dropped.Load(),
+			Latency:           c.latency.Snapshot(),
+			LatencyMaxSeconds: float64(c.maxNs.Load()) / float64(time.Second),
+			Freshness:         c.freshness.Snapshot(),
+		})
+	}
+	return res, nil
+}
+
+// runClient is one emulated client's open loop: staggered start, then a
+// request per tick, skipping (and counting) ticks while the in-flight
+// cap is full.
+func runClient(ctx context.Context, hc *http.Client, cfg Config, idx int, c *targetCounters, interval time.Duration) {
+	url := fmt.Sprintf("http://%s/v1/sample?n=%d", cfg.Targets[idx%len(cfg.Targets)], cfg.N)
+	spoof := ""
+	if cfg.SpoofClients {
+		spoof = spoofAddr(idx)
+	}
+
+	// Stagger client phases across one interval so a thousand clients
+	// offer a steady stream instead of a synchronized burst per tick.
+	stagger := time.Duration(int64(interval) * int64(idx%256) / 256)
+	select {
+	case <-ctx.Done():
+		return
+	case <-time.After(stagger):
+	}
+
+	var inFlight atomic.Int64
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		// Fire immediately on entry, then per tick: a short stage still
+		// offers every client's first request.
+		if inFlight.Load() >= int64(cfg.MaxInFlight) {
+			c.dropped.Add(1)
+		} else {
+			inFlight.Add(1)
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				defer inFlight.Add(-1)
+				doRequest(ctx, hc, url, spoof, c)
+			}()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// spoofAddr derives a stable distinct loopback-range address for client
+// idx, sent as X-Forwarded-For when SpoofClients is on.
+func spoofAddr(idx int) string {
+	return fmt.Sprintf("10.%d.%d.%d", 64+(idx>>16)%64, (idx>>8)%256, idx%256)
+}
+
+func doRequest(ctx context.Context, hc *http.Client, url, spoof string, c *targetCounters) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	if spoof != "" {
+		req.Header.Set("X-Forwarded-For", spoof)
+	}
+	start := time.Now()
+	resp, err := hc.Do(req)
+	if err != nil {
+		// A request cut off by the run deadline is the run ending, not a
+		// server failure.
+		if ctx.Err() == nil {
+			c.errors.Add(1)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			c.errors.Add(1)
+			return
+		}
+		elapsed := time.Since(start)
+		var body sampleBody
+		if json.Unmarshal(raw, &body) != nil || body.Count < 1 {
+			c.errors.Add(1)
+			return
+		}
+		c.ok.Add(1)
+		c.observeLatency(elapsed)
+		if body.RefreshedUnixMS > 0 {
+			age := time.Since(time.UnixMilli(body.RefreshedUnixMS))
+			if age < 0 {
+				age = 0
+			}
+			c.freshness.Observe(age)
+		}
+	case http.StatusTooManyRequests:
+		c.rateLimited.Add(1)
+		drain(resp.Body)
+	case http.StatusServiceUnavailable:
+		c.unavailable.Add(1)
+		drain(resp.Body)
+	default:
+		c.badStatus.Add(1)
+		drain(resp.Body)
+	}
+}
+
+// drain consumes a small error body so the connection is reusable.
+func drain(r io.Reader) { _, _ = io.CopyN(io.Discard, r, 4096) }

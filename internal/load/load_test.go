@@ -1,0 +1,227 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peersampling/internal/core"
+	"peersampling/internal/gateway"
+	"peersampling/internal/metrics"
+)
+
+// roundRobinSampler deals peers from a fixed set, standing in for a
+// node's GetPeer.
+type roundRobinSampler struct {
+	mu    sync.Mutex
+	peers []string
+	i     int
+}
+
+func (s *roundRobinSampler) GetPeer() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.peers) == 0 {
+		return "", core.ErrEmptyView
+	}
+	p := s.peers[s.i%len(s.peers)]
+	s.i++
+	return p, nil
+}
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("10.0.0.%d:7946", i+1)
+	}
+	return peers
+}
+
+func testGateway(t *testing.T, cfg gateway.Config) *gateway.Gateway {
+	t.Helper()
+	g, err := gateway.New("127.0.0.1:0", &roundRobinSampler{peers: testPeers(16)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = g.Close() })
+	return g
+}
+
+func TestRunAgainstGateway(t *testing.T) {
+	g := testGateway(t, gateway.Config{Refresh: 20 * time.Millisecond, RateRPS: 1e6, Burst: 1 << 20})
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{g.Addr()},
+		Clients:  8,
+		RPS:      50,
+		Duration: 300 * time.Millisecond,
+		N:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Totals()
+	if total.OK == 0 {
+		t.Fatalf("no successful requests: %+v", total)
+	}
+	if total.Errors != 0 || total.BadStatus != 0 {
+		t.Fatalf("errors=%d bad=%d against a healthy gateway", total.Errors, total.BadStatus)
+	}
+	if total.Latency.Count != total.OK {
+		t.Errorf("latency count %d != ok %d", total.Latency.Count, total.OK)
+	}
+	if total.Freshness.Count != total.OK {
+		t.Errorf("freshness count %d != ok %d", total.Freshness.Count, total.OK)
+	}
+	// A 20ms refresh keeps samples fresh: even p99 age must sit well
+	// under a second on loopback.
+	if p99 := total.Freshness.Quantile(0.99); p99 > 1 {
+		t.Errorf("freshness p99 = %.3fs, want fresh samples", p99)
+	}
+	if total.LatencyMaxSeconds <= 0 {
+		t.Error("latency max not recorded")
+	}
+}
+
+func TestRunCountsRateLimits(t *testing.T) {
+	// One token, no refill to speak of, every client behind the same
+	// loopback socket bucket: almost everything after the first request
+	// must come back 429 — and be counted, not treated as an error.
+	g := testGateway(t, gateway.Config{Refresh: time.Hour, RateRPS: 0.001, Burst: 1})
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{g.Addr()},
+		Clients:  4,
+		RPS:      100,
+		Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Totals()
+	if total.OK == 0 || total.RateLimited == 0 {
+		t.Fatalf("ok=%d rate_limited=%d, want both non-zero", total.OK, total.RateLimited)
+	}
+	if total.Errors != 0 {
+		t.Fatalf("errors = %d, want 429s counted as rate-limited", total.Errors)
+	}
+}
+
+func TestRunSpoofedClientsGetOwnBuckets(t *testing.T) {
+	// With trust_proxy_header on and spoofing enabled, every emulated
+	// client has its own burst: at burst 1 and ~no refill, the OK count
+	// must reach the client count (each client's first request).
+	g := testGateway(t, gateway.Config{
+		Refresh: time.Hour, RateRPS: 0.001, Burst: 1, TrustProxyHeader: true,
+	})
+	res, err := Run(context.Background(), Config{
+		Targets:      []string{g.Addr()},
+		Clients:      6,
+		RPS:          50,
+		Duration:     250 * time.Millisecond,
+		SpoofClients: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := res.Totals(); total.OK < 6 {
+		t.Fatalf("ok = %d, want every spoofed client's first request admitted", total.OK)
+	}
+}
+
+func TestRunCountsTransportErrors(t *testing.T) {
+	// A dead target: every request errors, nothing panics, nothing OK.
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{"127.0.0.1:1"},
+		Clients:  2,
+		RPS:      50,
+		Duration: 100 * time.Millisecond,
+		Timeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Totals()
+	if total.Errors == 0 {
+		t.Fatalf("errors = 0 against a dead target: %+v", total)
+	}
+	if total.OK != 0 {
+		t.Fatalf("ok = %d against a dead target", total.OK)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Clients: 1}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := Run(context.Background(), Config{Targets: []string{"127.0.0.1:1"}}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Run(context.Background(), Config{Targets: []string{""}, Clients: 1}); err == nil {
+		t.Error("empty target accepted")
+	}
+}
+
+func TestRowsRoundTripLongCSV(t *testing.T) {
+	g := testGateway(t, gateway.Config{Refresh: 20 * time.Millisecond, RateRPS: 1e6, Burst: 1 << 20})
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{g.Addr()},
+		Clients:  2,
+		RPS:      50,
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows(3)
+	doc := metrics.LongCSV("target", rows)
+	key, back, err := metrics.ParseLongCSV(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "target" || len(back) != len(rows) {
+		t.Fatalf("round trip: key=%q rows=%d want %d", key, len(back), len(rows))
+	}
+	want := map[string]bool{
+		"load_ok": false, "load_rate_limited": false, "load_latency_p50": false,
+		"load_latency_p99": false, "load_latency_max": false, "load_freshness_p99": false,
+	}
+	var sawTotal bool
+	for _, r := range back {
+		if r.Cycle != 3 {
+			t.Fatalf("cycle = %d, want 3", r.Cycle)
+		}
+		if _, ok := want[r.Metric]; ok {
+			want[r.Metric] = true
+		}
+		if r.Key == "total" {
+			sawTotal = true
+		}
+	}
+	for m, seen := range want {
+		if !seen {
+			t.Errorf("rows missing metric %s", m)
+		}
+	}
+	if !sawTotal {
+		t.Error("rows missing the total aggregate")
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	g := testGateway(t, gateway.Config{Refresh: time.Hour, RateRPS: 1e6, Burst: 1 << 20})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := Run(ctx, Config{
+		Targets: []string{g.Addr()}, Clients: 2, RPS: 20, Duration: 30 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+}

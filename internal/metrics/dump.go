@@ -163,6 +163,10 @@ func gatewayUnchanged(prev, cur *GatewaySnapshot) bool {
 	}
 	a, b := *prev, *cur
 	a.CacheAgeSeconds, b.CacheAgeSeconds = 0, 0
+	// The latency snapshot is a fresh pointer every poll; comparing it
+	// would defeat change detection. Latency only moves with Requests, so
+	// dropping it from the comparison loses nothing.
+	a.Latency, b.Latency = nil, nil
 	return a == b
 }
 

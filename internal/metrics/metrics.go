@@ -104,7 +104,9 @@ type NodeSnapshot struct {
 
 // GatewaySnapshot is the sampling gateway's observable state: request
 // counters, rejection counters, and the health of the sample cache. The
-// struct is comparable so exporters can cheaply detect change.
+// struct is comparable so exporters can cheaply detect change (the
+// Latency pointer is excluded from such comparisons — it is freshly
+// allocated per snapshot, and latency only moves when Requests does).
 type GatewaySnapshot struct {
 	// Requests counts /v1/sample requests accepted for serving.
 	Requests uint64 `json:"requests"`
@@ -123,6 +125,9 @@ type GatewaySnapshot struct {
 	CacheSize int `json:"cache_size"`
 	// CacheAgeSeconds is how long ago the batch was refreshed.
 	CacheAgeSeconds float64 `json:"cache_age_seconds"`
+	// Latency is the serve-time histogram of successful sample requests;
+	// nil when the gateway keeps none.
+	Latency *transport.LatencySnapshot `json:"latency,omitempty"`
 }
 
 // Rows flattens the snapshot into long-form rows keyed by the node name,
@@ -173,6 +178,12 @@ func (s NodeSnapshot) Rows() []LongRow {
 			LongRow{s.Node, int(s.Cycles), "gateway_cache_size", float64(g.CacheSize)},
 			LongRow{s.Node, int(s.Cycles), "gateway_cache_age_seconds", g.CacheAgeSeconds},
 		)
+		if g.Latency != nil {
+			rows = append(rows,
+				LongRow{s.Node, int(s.Cycles), "gateway_latency_p50", g.Latency.Quantile(0.50)},
+				LongRow{s.Node, int(s.Cycles), "gateway_latency_p99", g.Latency.Quantile(0.99)},
+			)
+		}
 	}
 	return rows
 }

@@ -181,27 +181,39 @@ func WritePrometheus(w io.Writer, snaps []NodeSnapshot) error {
 				fam.name, s.Node, s.Addr, formatValue(v))
 		}
 	}
-	writeLatencyHistogram(&b, snaps)
+	writeLatencyHistogram(&b, snaps, "peersampling_exchange_latency_seconds",
+		"Round-trip time of completed active exchanges.",
+		func(s NodeSnapshot) *transport.LatencySnapshot { return s.Latency })
+	writeLatencyHistogram(&b, snaps, "peersampling_gateway_latency_seconds",
+		"Serve time of successful /v1/sample requests.",
+		func(s NodeSnapshot) *transport.LatencySnapshot {
+			if s.Gateway == nil {
+				return nil
+			}
+			return s.Gateway.Latency
+		})
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// writeLatencyHistogram renders the exchange-latency histogram family for
-// every node that carries one, in the native Prometheus histogram shape:
-// cumulative le-labelled buckets, _sum and _count.
-func writeLatencyHistogram(b *strings.Builder, snaps []NodeSnapshot) {
-	const family = "peersampling_exchange_latency_seconds"
+// writeLatencyHistogram renders one latency-histogram family for every
+// node that carries it (pick returns nil for the rest), in the native
+// Prometheus histogram shape: cumulative le-labelled buckets, _sum and
+// _count. Both the exchange round-trip and the gateway serve-time
+// families render through here.
+func writeLatencyHistogram(b *strings.Builder, snaps []NodeSnapshot, family, help string,
+	pick func(NodeSnapshot) *transport.LatencySnapshot) {
 	wrote := false
 	for _, s := range snaps {
-		if s.Latency == nil {
+		lat := pick(s)
+		if lat == nil {
 			continue
 		}
 		if !wrote {
-			fmt.Fprintf(b, "# HELP %s Round-trip time of completed active exchanges.\n# TYPE %s histogram\n",
-				family, family)
+			fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", family, help, family)
 			wrote = true
 		}
-		cum := s.Latency.Cumulative()
+		cum := lat.Cumulative()
 		for i, bound := range transport.LatencyBounds {
 			var c uint64
 			if i < len(cum) {
@@ -210,9 +222,9 @@ func writeLatencyHistogram(b *strings.Builder, snaps []NodeSnapshot) {
 			fmt.Fprintf(b, "%s_bucket{node=%q,addr=%q,le=%q} %d\n",
 				family, s.Node, s.Addr, formatValue(bound), c)
 		}
-		fmt.Fprintf(b, "%s_bucket{node=%q,addr=%q,le=\"+Inf\"} %d\n", family, s.Node, s.Addr, s.Latency.Count)
-		fmt.Fprintf(b, "%s_sum{node=%q,addr=%q} %s\n", family, s.Node, s.Addr, formatValue(s.Latency.SumSeconds))
-		fmt.Fprintf(b, "%s_count{node=%q,addr=%q} %d\n", family, s.Node, s.Addr, s.Latency.Count)
+		fmt.Fprintf(b, "%s_bucket{node=%q,addr=%q,le=\"+Inf\"} %d\n", family, s.Node, s.Addr, lat.Count)
+		fmt.Fprintf(b, "%s_sum{node=%q,addr=%q} %s\n", family, s.Node, s.Addr, formatValue(lat.SumSeconds))
+		fmt.Fprintf(b, "%s_count{node=%q,addr=%q} %d\n", family, s.Node, s.Addr, lat.Count)
 	}
 }
 

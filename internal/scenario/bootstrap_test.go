@@ -212,8 +212,8 @@ func TestForEachPar(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	defs := All()
-	if len(defs) != 17 {
-		t.Fatalf("registry has %d entries want 17", len(defs))
+	if len(defs) != 18 {
+		t.Fatalf("registry has %d entries want 18", len(defs))
 	}
 	ids := map[string]bool{}
 	for _, d := range defs {
@@ -228,7 +228,7 @@ func TestFindAndAll(t *testing.T) {
 	// Exactly the live-cluster experiments take a LiveEnv.
 	live := map[string]bool{
 		"hostile": true, "bootstrap": true, "livechurn": true,
-		"livebroadcast": true, "liveaggregate": true,
+		"livebroadcast": true, "liveaggregate": true, "livegateway": true,
 	}
 	for _, d := range defs {
 		wantLive := live[d.ID]

@@ -92,6 +92,11 @@ func All() []Def {
 			runLiveDirect(liveAggregateDef),
 			liveAggregateDef,
 		},
+		{
+			"livegateway", "Extension: gateway sampling API under ramping load and a kill wave",
+			runLiveDirect(liveGatewayDef),
+			liveGatewayDef,
+		},
 		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }, nil},
 	}
 }
@@ -116,6 +121,10 @@ func liveBroadcastDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
 
 func liveAggregateDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
 	return RunLiveAggregate(sc, seed, env)
+}
+
+func liveGatewayDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
+	return RunLiveGateway(sc, seed, env)
 }
 
 // Find returns the experiment definition with the given ID.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package scenario
+
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceDetectorEnabled widens timing budgets in live scenarios: race
+// instrumentation inflates serve latency roughly an order of magnitude,
+// which is detector overhead, not a serving regression.
+const raceDetectorEnabled = true

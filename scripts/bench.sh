@@ -1,20 +1,20 @@
 #!/bin/sh
 # Run the performance benchmark suite and emit a machine-readable summary
-# (default BENCH_pr7.json) in the repository root: one entry per
+# (default BENCH_pr9.json) in the repository root: one entry per
 # benchmark with ns/op, B/op and allocs/op. The JSON is the artifact the
 # perf-tracking job diffs between PRs; the raw `go test -bench` output is
 # kept next to it for humans.
 #
-# The suite runs in two passes: the exchange/codec/cycle microbenchmarks
-# at a timed -benchtime, and the million-node cycle benchmarks at
-# -benchtime=1x (one cycle is seconds and advances the shared population
-# state, so iteration counts would not converge anyway). Both passes land
-# in the same JSON.
+# The suite runs in two passes: the exchange/codec/cycle/gateway-serve
+# microbenchmarks at a timed -benchtime, and the million-node cycle
+# benchmarks at -benchtime=1x (one cycle is seconds and advances the
+# shared population state, so iteration counts would not converge
+# anyway). Both passes land in the same JSON.
 #
 # Usage (from the repository root):
 #   scripts/bench.sh [-out FILE] [-compare BASE.json] [pattern]
 #
-#   -out FILE       write the summary to FILE (default BENCH_pr7.json)
+#   -out FILE       write the summary to FILE (default BENCH_pr9.json)
 #   -compare BASE   after writing, compare against the baseline JSON and
 #                   exit non-zero when any benchmark present in both
 #                   files regressed by more than 25% in ns_per_op or
@@ -28,9 +28,9 @@
 #                   exchange + codec + cycle benchmarks)
 set -eu
 
-out="BENCH_pr7.json"
+out="BENCH_pr9.json"
 base=""
-pattern="Exchange|CodecRoundTrip|ShardedCycle"
+pattern="Exchange|CodecRoundTrip|ShardedCycle|GatewayServe"
 million_pattern="MillionCycle"
 
 while [ $# -gt 0 ]; do
@@ -56,12 +56,12 @@ trap 'rm -f "$raw" "$raw_million"' EXIT INT TERM
 
 # A 1x pass first as a cheap correctness gate, so a broken benchmark
 # fails fast, not 10 minutes in.
-go test -run '^$' -bench "$pattern" -benchmem -benchtime=1x -count=1 . >"$raw" 2>&1 || {
+go test -run '^$' -bench "$pattern" -benchmem -benchtime=1x -count=1 . ./internal/gateway/ >"$raw" 2>&1 || {
     echo "benchmarks failed:" >&2
     cat "$raw" >&2
     exit 1
 }
-go test -run '^$' -bench "$pattern" -benchmem -benchtime=100x -count=1 . >"$raw" 2>&1 || {
+go test -run '^$' -bench "$pattern" -benchmem -benchtime=100x -count=1 . ./internal/gateway/ >"$raw" 2>&1 || {
     echo "benchmarks failed:" >&2
     cat "$raw" >&2
     exit 1

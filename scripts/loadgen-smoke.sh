@@ -1,0 +1,158 @@
+#!/bin/sh
+# Smoke-test the load-generation harness end to end: boot a 4-node psnode
+# fleet with gateways enabled, point psload at every gateway with a few
+# hundred spoofed clients, and require a clean run — successful samples,
+# zero transport errors, zero non-limit failures, and long-form CSV rows
+# with latency quantiles. Then run the livegateway experiment on the
+# subprocess driver: the full ramp (250 then 1000 emulated clients) with
+# a kill wave against real psnode processes must end with every surviving
+# gateway still serving. Run from the repository root.
+set -eu
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/psnode" ./cmd/psnode
+go build -o "$tmp/psload" ./cmd/psload
+go build -o "$tmp/experiments" ./cmd/experiments
+
+# trust_proxy_header lets psload's -spoof-clients emulate distinct
+# clients through one loopback socket; the per-client limit is set high
+# enough that a clean run sees no 429s.
+write_config() {
+    # write_config <dir> <contact-or-empty>
+    contacts="[]"
+    if [ -n "$2" ]; then
+        contacts="[\"$2\"]"
+    fi
+    cat >"$1/config.json" <<EOF
+{
+  "version": 1,
+  "node": {
+    "listen": "127.0.0.1:0",
+    "contacts": $contacts,
+    "view_size": 8,
+    "period": "50ms"
+  },
+  "transport": { "backend": "tcp" },
+  "control": {
+    "addr": "127.0.0.1:0",
+    "ready_file": "$1/ready.json"
+  },
+  "gateway": {
+    "addr": "127.0.0.1:0",
+    "refresh": "100ms",
+    "rate_rps": 200,
+    "burst": 400,
+    "trust_proxy_header": true
+  }
+}
+EOF
+}
+
+boot() {
+    # boot <dir>; waits for the ready file
+    "$tmp/psnode" -config "$1/config.json" >"$1/psnode.log" 2>&1 &
+    pids="$pids $!"
+    i=0
+    while [ ! -f "$1/ready.json" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "member in $1 never became ready:" >&2
+            cat "$1/psnode.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+mkdir "$tmp/node0"
+write_config "$tmp/node0" ""
+boot "$tmp/node0"
+contact=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$tmp/node0/ready.json")
+
+targets=""
+for n in 0 1 2 3; do
+    if [ "$n" -gt 0 ]; then
+        mkdir "$tmp/node$n"
+        write_config "$tmp/node$n" "$contact"
+        boot "$tmp/node$n"
+    fi
+    # The daemon reports its bound gateway address in the ready file.
+    gw=$(sed -n 's/.*"gateway_addr":"\([^"]*\)".*/\1/p' "$tmp/node$n/ready.json")
+    if [ -z "$gw" ]; then
+        echo "node$n ready file carries no gateway_addr:" >&2
+        cat "$tmp/node$n/ready.json" >&2
+        exit 1
+    fi
+    targets="$targets,$gw"
+done
+targets=${targets#,}
+
+# The gateway caches fill from gossip; poll until the first one serves.
+first=${targets%%,*}
+i=0
+until curl -sf "http://$first/v1/sample" >/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "gateway $first never served a sample" >&2
+        cat "$tmp/node0/psnode.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# A few hundred spoofed clients across all four gateways: the run must
+# finish with successes on every target and no errors of any kind.
+"$tmp/psload" -targets "$targets" -clients 300 -rps 5 -duration 2s \
+    -n 3 -spoof-clients -csv "$tmp/load.csv" | tee "$tmp/load.out"
+
+total=$(awk '$1 == "total"' "$tmp/load.out")
+if [ -z "$total" ]; then
+    echo "psload output has no total row" >&2
+    exit 1
+fi
+ok=$(printf '%s' "$total" | awk '{print $2}')
+errors=$(printf '%s' "$total" | awk '{print $6}')
+bad=$(printf '%s' "$total" | awk '{print $5}')
+if [ "$ok" -eq 0 ] || [ "$errors" -ne 0 ] || [ "$bad" -ne 0 ]; then
+    echo "load run not clean: ok=$ok errors=$errors bad=$bad" >&2
+    exit 1
+fi
+
+# The CSV artifact must carry the long-form schema with quantile rows
+# for every target plus the total aggregate.
+if [ "$(head -n 1 "$tmp/load.csv")" != "target,cycle,metric,value" ]; then
+    echo "load.csv header wrong: $(head -n 1 "$tmp/load.csv")" >&2
+    exit 1
+fi
+for metric in load_ok load_latency_p50 load_latency_p99 load_freshness_p99; do
+    if ! grep -q ",$metric," "$tmp/load.csv"; then
+        echo "load.csv missing $metric rows" >&2
+        exit 1
+    fi
+done
+p99=$(awk -F, '$1 == "total" && $3 == "load_latency_p99" {print $4}' "$tmp/load.csv")
+echo "psload smoke OK: ok=$ok errors=0, total p99=${p99}s"
+
+# The full pressure experiment against real processes: ramp to 1000
+# clients, kill a quarter of the fleet mid-ramp, survivors keep serving.
+"$tmp/experiments" -run livegateway -driver subprocess \
+    -psnode "$tmp/psnode" -csv "$tmp/exp" | tee "$tmp/livegateway.out"
+if ! grep -q 'served through the kill wave: true' "$tmp/livegateway.out"; then
+    echo "livegateway experiment did not converge" >&2
+    exit 1
+fi
+if ! grep -q ',load_latency_p99,' "$tmp/exp"/livegateway_load.csv; then
+    echo "livegateway CSV artifact missing latency quantiles" >&2
+    exit 1
+fi
+
+echo "loadgen smoke OK: clean psload run and livegateway served through the kill wave"
