@@ -16,11 +16,16 @@
 // slowloris against a real cluster), "livechurn" (kill and respawn
 // waves against the fleet), "livebroadcast" (epidemic rumor spread over
 // the fleet's workload engines under a kill wave), "liveaggregate"
-// (push-pull averaging variance decay and network size estimation) and
+// (push-pull averaging variance decay and network size estimation),
 // "livegateway" (every member's sampling gateway under ramping
-// load-generator pressure through a kill wave) — the experiments whose
-// numbers are timing-dependent rather than seeded. -list prints the
-// full registry with each experiment's kind.
+// load-generator pressure through a kill wave) and "partitionheal"
+// (partition a live fleet from a declarative fault plan, then watch it
+// re-converge once the rules expire) — the experiments whose
+// numbers are timing-dependent rather than seeded. The live
+// experiments' fault logic (kill waves, floods, partitions, per-link
+// latency/loss) replays from named chaos plans embedded in
+// internal/chaos/plans. -list prints the full registry with each
+// experiment's kind.
 //
 // The live experiments run on a fleet driver selected with -driver:
 // "inproc" (default) keeps every node a goroutine in this process;

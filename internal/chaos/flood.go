@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The connection-flood + slowloris attack a flood event runs, lifted
+// from the hostile-network experiment so every scenario shares one
+// attacker implementation. Each flooder goroutine works one target
+// address with two arms:
+//
+//   - slowloris: a small batch of connections held open without ever
+//     sending a byte — each admitted one occupies a serve slot until the
+//     listener's first-frame window evicts it;
+//   - flood: dial as fast as possible, recycling the attacker's own fds
+//     so the flood is bounded by the victim, not by the attacker.
+
+const (
+	lorisConns   = 8  // silent connections each flooder holds for the whole attack
+	floodHeld    = 64 // flood-arm fds held before recycling
+	floodRecycle = 32 // fds closed per recycle
+)
+
+// runFlood attacks targets with the given number of flooder goroutines
+// for the given duration, blocking until they all stop. Flooders are
+// dealt round-robin over the targets; dials counts every connection
+// attempt and may be read concurrently.
+func runFlood(targets []string, flooders int, duration time.Duration, dials *atomic.Uint64) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for f := 0; f < flooders; f++ {
+		addr := targets[f%len(targets)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			floodOne(addr, stop, dials)
+		}()
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+}
+
+// floodOne is one flooder goroutine's attack loop against one address.
+func floodOne(addr string, stop <-chan struct{}, dials *atomic.Uint64) {
+	// Slowloris arm: a batch of connections held silent until the attack
+	// ends.
+	loris := make([]net.Conn, 0, lorisConns)
+	defer func() {
+		for _, c := range loris {
+			c.Close()
+		}
+	}()
+	for len(loris) < cap(loris) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		dials.Add(1)
+		if err != nil {
+			break
+		}
+		loris = append(loris, c)
+	}
+	// Flood arm: dial as fast as possible, recycling our own fds.
+	held := make([]net.Conn, 0, floodHeld)
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		dials.Add(1)
+		if err != nil {
+			continue // kernel backlog full: the flood saturating itself
+		}
+		held = append(held, c)
+		if len(held) == cap(held) {
+			// The server has long since closed (rejected or evicted) most of
+			// these anyway.
+			for _, old := range held[:floodRecycle] {
+				old.Close()
+			}
+			held = append(held[:0], held[floodRecycle:]...)
+		}
+	}
+}

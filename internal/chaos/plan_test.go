@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseValidPlan(t *testing.T) {
+	raw := `
+version: 1
+name: full-timeline
+description: one of everything
+events:
+  - at: 0s
+    action: kill
+    fraction: 0.25
+    respawn_after: 50ms
+  - at: 100ms
+    action: kill
+    members: [victim, node03]
+  - at: 200ms
+    action: partition
+    fraction: 0.5
+    for: 300ms
+  - at: 250ms
+    action: partition
+    from: [node00]
+    to: [node01, node02]
+  - at: 300ms
+    action: latency
+    latency: 2ms
+    for: 1s
+  - at: 400ms
+    action: loss
+    loss: 0.5
+    from: [node00]
+  - at: 500ms
+    action: heal
+  - at: 600ms
+    action: flood
+    members: [victim]
+    for: 1s
+`
+	p, err := Parse([]byte(raw), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "full-timeline" || p.Version != 1 || len(p.Events) != 8 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Events[0].Fraction != 0.25 || p.Events[0].RespawnAfter != 50*time.Millisecond {
+		t.Errorf("kill event = %+v", p.Events[0])
+	}
+	if got := p.Events[1].Members; len(got) != 2 || got[0] != "victim" {
+		t.Errorf("named kill = %+v", p.Events[1])
+	}
+	// Latency and loss default unset sides to the wildcard.
+	if lat := p.Events[4]; lat.From[0] != "*" || lat.To[0] != "*" || lat.Latency != 2*time.Millisecond {
+		t.Errorf("latency event = %+v", lat)
+	}
+	if loss := p.Events[5]; loss.From[0] != "node00" || loss.To[0] != "*" {
+		t.Errorf("loss event = %+v", loss)
+	}
+	// Flood defaults flooders to 3.
+	if fl := p.Events[7]; fl.Flooders != 3 {
+		t.Errorf("flood event = %+v", fl)
+	}
+
+	if waves := p.KillWaves(); len(waves) != 2 || waves[0].At != 0 {
+		t.Errorf("KillWaves = %+v", waves)
+	}
+	if fl, ok := p.FirstFlood(); !ok || fl.At != 600*time.Millisecond {
+		t.Errorf("FirstFlood = %+v, %v", fl, ok)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want string // error substring
+	}{
+		{"bad version", "version: 2\nname: x1\nevents:\n  - action: heal\n", "version"},
+		{"bad name", "version: 1\nname: Bad_Name\nevents:\n  - action: heal\n", "plan name"},
+		{"no events", "version: 1\nname: x1\n", "no events"},
+		{"unknown key", "version: 1\nname: x1\nevents:\n  - action: heal\n    bogus: 1\n", "bogus"},
+		{"unknown action", "version: 1\nname: x1\nevents:\n  - action: explode\n", "unknown"},
+		{"derived action", "version: 1\nname: x1\nevents:\n  - action: respawn\n", "derived"},
+		{"negative at", "version: 1\nname: x1\nevents:\n  - at: -1s\n    action: heal\n", "negative"},
+		{"kill both selectors", "version: 1\nname: x1\nevents:\n  - action: kill\n    fraction: 0.5\n    members: [a]\n", "exactly one"},
+		{"kill neither selector", "version: 1\nname: x1\nevents:\n  - action: kill\n", "exactly one"},
+		{"kill fraction range", "version: 1\nname: x1\nevents:\n  - action: kill\n    fraction: 1.5\n", "fraction"},
+		{"kill with loss", "version: 1\nname: x1\nevents:\n  - action: kill\n    fraction: 0.5\n    loss: 0.1\n", "not meaningful"},
+		{"partition both selectors", "version: 1\nname: x1\nevents:\n  - action: partition\n    fraction: 0.5\n    from: [a]\n    to: [b]\n", "either fraction"},
+		{"partition whole fleet", "version: 1\nname: x1\nevents:\n  - action: partition\n    fraction: 1.0\n", "fraction"},
+		{"partition one side", "version: 1\nname: x1\nevents:\n  - action: partition\n    from: [a]\n", "either fraction"},
+		{"latency zero", "version: 1\nname: x1\nevents:\n  - action: latency\n    latency: 0s\n", "latency"},
+		{"loss range", "version: 1\nname: x1\nevents:\n  - action: loss\n    loss: 1.5\n", "loss"},
+		{"heal with extras", "version: 1\nname: x1\nevents:\n  - action: heal\n    fraction: 0.5\n", "not meaningful"},
+		{"flood without for", "version: 1\nname: x1\nevents:\n  - action: flood\n", "positive for"},
+		{"flood with latency", "version: 1\nname: x1\nevents:\n  - action: flood\n    for: 1s\n    latency: 1ms\n", "not meaningful"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.raw), false)
+			if err == nil {
+				t.Fatalf("parsed successfully:\n%s", tc.raw)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Event validation errors carry the events[i] path so a multi-event plan
+// pinpoints the bad entry.
+func TestValidateReportsEventPath(t *testing.T) {
+	raw := "version: 1\nname: x1\nevents:\n  - action: heal\n  - action: kill\n"
+	_, err := Parse([]byte(raw), false)
+	if err == nil || !strings.Contains(err.Error(), "events[1]") {
+		t.Errorf("error %v does not carry the event path", err)
+	}
+}
+
+// Every plan shipped in-repo must load, and each one's document name
+// must match its file name.
+func TestEmbeddedPlansLoad(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("embedded plans = %v", names)
+	}
+	for _, want := range []string{"churn-waves", "gateway-kill", "hostile-flood", "partition-heal"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("plan %s not embedded (have %v)", want, names)
+		}
+	}
+	for _, n := range names {
+		p, err := Load(n)
+		if err != nil {
+			t.Errorf("Load(%s): %v", n, err)
+			continue
+		}
+		if p.Name != n {
+			t.Errorf("plan file %s names itself %s", n, p.Name)
+		}
+	}
+	// The .yaml suffix is accepted; unknown names name the alternatives.
+	if _, err := Load("churn-waves.yaml"); err != nil {
+		t.Errorf("Load with suffix: %v", err)
+	}
+	if _, err := Load("no-such-plan"); err == nil || !strings.Contains(err.Error(), "churn-waves") {
+		t.Errorf("unknown plan error does not list plans: %v", err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "plan.json")
+	doc := `{"version": 1, "name": "from-json", "events": [{"action": "heal"}]}`
+	if err := os.WriteFile(jsonPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "from-json" {
+		t.Errorf("plan = %+v", p)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.yaml")); err == nil {
+		t.Error("missing file loaded")
+	}
+}

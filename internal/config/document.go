@@ -1,0 +1,110 @@
+package config
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Exported access to the package's strict document machinery, so other
+// layers (internal/chaos plan files) parse their own versioned documents
+// with the same YAML-subset/JSON front end, dotted field-path errors and
+// unknown-key rejection as the daemon config — one config dialect across
+// the repo instead of a second hand-rolled parser per document kind.
+
+// ParseDocument parses one document into the generic mapping shape the
+// strict readers consume: the package's YAML subset by default, JSON when
+// asJSON is set.
+func ParseDocument(raw []byte, asJSON bool) (map[string]any, error) {
+	if asJSON {
+		return parseJSON(raw)
+	}
+	return parseYAML(raw)
+}
+
+// DocIsJSON reports whether a document path selects the JSON front end,
+// matching LoadFile's extension rule.
+func DocIsJSON(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), ".json")
+}
+
+// Document reads typed values out of one parsed mapping, strictly: every
+// error carries the dotted field path, and Finish rejects any key no
+// reader consumed. Obtain the root with NewDocument, nested mappings with
+// Sub, and sequences of mappings with Seq.
+type Document struct {
+	s *section
+}
+
+// NewDocument wraps a parsed mapping (see ParseDocument) for strict
+// reading. path prefixes every field path in errors; "" for the root.
+func NewDocument(path string, m map[string]any) *Document {
+	return &Document{s: newSection(path, m)}
+}
+
+// Str reads an optional string field.
+func (d *Document) Str(name string, dst *string) error { return d.s.str(name, dst) }
+
+// StrList reads an optional list-of-strings field (a bare string reads as
+// a one-element list).
+func (d *Document) StrList(name string, dst *[]string) error { return d.s.strList(name, dst) }
+
+// Int reads an optional integer field.
+func (d *Document) Int(name string, dst *int) error { return d.s.integer(name, dst) }
+
+// Float reads an optional number field.
+func (d *Document) Float(name string, dst *float64) error { return d.s.float(name, dst) }
+
+// Bool reads an optional boolean field.
+func (d *Document) Bool(name string, dst *bool) error { return d.s.boolean(name, dst) }
+
+// Duration reads an optional Go duration string field ("250ms", "1m30s");
+// bare numbers are rejected as ambiguous.
+func (d *Document) Duration(name string, dst *time.Duration) error { return d.s.duration(name, dst) }
+
+// Sub returns the nested mapping under name, or nil when the key is
+// absent. A present non-mapping value surfaces as an error from the
+// child's first read (or its Finish).
+func (d *Document) Sub(name string) *Document {
+	child := d.s.sub(name)
+	if child == nil {
+		return nil
+	}
+	return &Document{s: child}
+}
+
+// Seq returns the sequence of mappings under name, one Document per
+// element ("name[i]" in error paths), or nil when the key is absent. A
+// present value that is not a list of mappings is an error.
+func (d *Document) Seq(name string) ([]*Document, error) {
+	if d.s.typeErr != nil {
+		return nil, d.s.typeErr
+	}
+	v, ok := d.s.take(name)
+	if !ok {
+		return nil, nil
+	}
+	seq, isSeq := v.([]any)
+	if !isSeq {
+		return nil, fmt.Errorf("%s: want a list of mappings, got %s", d.s.key(name), typeName(v))
+	}
+	docs := make([]*Document, len(seq))
+	for i, item := range seq {
+		m, isMap := item.(map[string]any)
+		if !isMap {
+			return nil, fmt.Errorf("%s[%d]: want a mapping, got %s", d.s.key(name), i, typeName(item))
+		}
+		child := newSection(fmt.Sprintf("%s[%d]", d.s.key(name), i), m)
+		// Registered as a child so Finish sweeps the element's unknown
+		// keys exactly like a named sub-section's.
+		d.s.children = append(d.s.children, child)
+		docs[i] = &Document{s: child}
+	}
+	return docs, nil
+}
+
+// Finish errors on any key in this document or anything reached through
+// Sub/Seq that no reader consumed — call it once on the root after all
+// fields are read.
+func (d *Document) Finish() error { return d.s.finishAll() }

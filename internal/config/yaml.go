@@ -9,10 +9,11 @@ import (
 // parseYAML parses the YAML subset this package speaks into nested
 // map[string]any / []any / scalar values. Supported: mappings nested by
 // indentation (spaces only), sequences as "- item" lines or inline
-// [a, b] flows, double- and single-quoted strings, booleans, integers,
-// floats, null, and "#" comments. Unsupported YAML (anchors, multi-line
-// scalars, tabs, flow mappings) fails loudly with a line number instead
-// of being half-read.
+// [a, b] flows, sequence items that are themselves mappings
+// ("- key: value" with continuation keys aligned beneath), double- and
+// single-quoted strings, booleans, integers, floats, null, and "#"
+// comments. Unsupported YAML (anchors, multi-line scalars, tabs, flow
+// mappings) fails loudly with a line number instead of being half-read.
 func parseYAML(data []byte) (map[string]any, error) {
 	lines, err := splitYAMLLines(string(data))
 	if err != nil {
@@ -124,7 +125,16 @@ func parseSequence(lines []yamlLine, start, indent int) (any, int, error) {
 		}
 		item := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
 		if item == "" {
-			return nil, i, fmt.Errorf("line %d: empty sequence item (nested blocks under \"-\" are not supported)", ln.num)
+			return nil, i, fmt.Errorf("line %d: empty sequence item (use \"- key: value\" for mapping items)", ln.num)
+		}
+		if isCompactMappingItem(item) {
+			v, next, err := parseCompactMapping(lines, i, indent, item)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, v)
+			i = next
+			continue
 		}
 		v, err := parseScalar(item, ln.num)
 		if err != nil {
@@ -137,6 +147,52 @@ func parseSequence(lines []yamlLine, start, indent int) (any, int, error) {
 		return nil, i, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
 	}
 	return seq, i, nil
+}
+
+// isCompactMappingItem reports whether a "- ..." item body opens a
+// mapping ("- key: value" or "- key:") rather than a scalar. The YAML
+// rule applies: a colon only separates key from value when followed by a
+// space or end of line, so a bare scalar like "10.0.0.1:8080" stays a
+// scalar. The key must also be a bare word, as everywhere else in the
+// subset.
+func isCompactMappingItem(item string) bool {
+	idx := strings.Index(item, ":")
+	if idx <= 0 {
+		return false
+	}
+	if idx != len(item)-1 && item[idx+1] != ' ' {
+		return false
+	}
+	key := strings.TrimSpace(item[:idx])
+	return !strings.ContainsAny(key, " \"'[]{}")
+}
+
+// parseCompactMapping parses one "- key: value" sequence item: the
+// item's first key rides on the "-" line, continuation keys sit on the
+// following lines indented past the dash (conventionally aligned with
+// the first key). Returns the mapping and the index of the first line
+// after the item.
+func parseCompactMapping(lines []yamlLine, start, indent int, item string) (any, int, error) {
+	// The item body starts two columns past the dash ("- " is two wide).
+	bodyIndent := indent + 2
+	body := []yamlLine{{num: lines[start].num, indent: bodyIndent, text: item}}
+	end := start + 1
+	for end < len(lines) && lines[end].indent > indent {
+		ln := lines[end]
+		if ln.indent < bodyIndent {
+			return nil, end, fmt.Errorf("line %d: sequence item continuation must align with the item's first key", ln.num)
+		}
+		body = append(body, ln)
+		end++
+	}
+	v, consumed, err := parseBlock(body, 0, bodyIndent)
+	if err != nil {
+		return nil, start, err
+	}
+	if consumed != len(body) {
+		return nil, start, fmt.Errorf("line %d: unexpected indentation", body[consumed].num)
+	}
+	return v, end, nil
 }
 
 func parseMapping(lines []yamlLine, start, indent int) (any, int, error) {

@@ -33,6 +33,17 @@ func TestParseYAMLSubset(t *testing.T) {
 			map[string]any{"a": nil, "b": int64(1)}},
 		{"address-like bare scalar", "addr: 127.0.0.1:8080\n",
 			map[string]any{"addr": "127.0.0.1:8080"}},
+		{"sequence of mappings", "events:\n  - at: 0s\n    action: kill\n  - at: 2s\n    action: heal\n",
+			map[string]any{"events": []any{
+				map[string]any{"at": "0s", "action": "kill"},
+				map[string]any{"at": "2s", "action": "heal"},
+			}}},
+		{"mapping item with nested block", "rules:\n  - name: r1\n    link:\n      loss: 0.5\n    targets: [a, b]\n",
+			map[string]any{"rules": []any{
+				map[string]any{"name": "r1", "link": map[string]any{"loss": 0.5}, "targets": []any{"a", "b"}},
+			}}},
+		{"address-like sequence scalar", "peers:\n  - 10.0.0.1:8080\n",
+			map[string]any{"peers": []any{"10.0.0.1:8080"}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -62,6 +73,7 @@ func TestParseYAMLErrors(t *testing.T) {
 		{"mixed mapping and sequence", "a:\n  - one\n  key: 2\n", "line 3"},
 		{"unterminated quote", "a: \"oops\n", "line 1"},
 		{"unterminated flow", "a: [1, 2\n", "line 1"},
+		{"misaligned item continuation", "a:\n  - k: 1\n   x: 2\n", "line 3"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -338,6 +338,10 @@ type Report struct {
 	Addr string `json:"addr"`
 	// Cycles is the node's active cycle count — a cheap liveness signal.
 	Cycles uint64 `json:"cycles"`
+	// FaultRules counts the fault-injection rules currently installed on
+	// this process's transport (see transport.Faults): non-zero means a
+	// chaos plan is shaping this node's links right now.
+	FaultRules int `json:"fault_rules"`
 	// Plugins maps plugin name to its lifecycle status.
 	Plugins map[string]Status `json:"plugins"`
 }
@@ -354,10 +358,11 @@ func (m *Manager) StatusReport() Report {
 	m.mu.Unlock()
 	cycles, _, _, _ := m.node.Stats()
 	r := Report{
-		State:   state,
-		Addr:    m.node.Addr(),
-		Cycles:  cycles,
-		Plugins: make(map[string]Status, len(plugins)),
+		State:      state,
+		Addr:       m.node.Addr(),
+		Cycles:     cycles,
+		FaultRules: transport.Faults().ActiveRules(),
+		Plugins:    make(map[string]Status, len(plugins)),
 	}
 	for _, p := range plugins {
 		r.Plugins[p.Name()] = p.Status()

@@ -14,6 +14,7 @@ import (
 
 	"peersampling/internal/config"
 	"peersampling/internal/fleet"
+	"peersampling/internal/transport"
 )
 
 // testConfig is a loopback daemon config with every plugin on an
@@ -293,5 +294,24 @@ func TestStopRequestEndsRun(t *testing.T) {
 	}
 	if m.StatusReport().State != "stopped" {
 		t.Errorf("state = %q", m.StatusReport().State)
+	}
+}
+
+// StatusReport surfaces the process-global fault-rule count, so the
+// /healthz payload tells an operator when a chaos plan is shaping this
+// node's links.
+func TestStatusReportCountsFaultRules(t *testing.T) {
+	m := startManager(t, testConfig(t))
+	if got := m.StatusReport().FaultRules; got != 0 {
+		t.Fatalf("fault_rules = %d before any injection", got)
+	}
+	transport.Faults().SetRules([]transport.FaultRule{{From: "*", To: "*", Loss: 0.5}})
+	defer transport.Faults().SetRules(nil)
+	if got := m.StatusReport().FaultRules; got != 1 {
+		t.Fatalf("fault_rules = %d with one rule installed", got)
+	}
+	transport.Faults().SetRules(nil)
+	if got := m.StatusReport().FaultRules; got != 0 {
+		t.Fatalf("fault_rules = %d after heal", got)
 	}
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -84,6 +85,7 @@ func NewAgent(addr string, src metrics.Source, stop func()) (*Agent, error) {
 	mux.HandleFunc("/snapshot", a.handleSnapshot)
 	mux.HandleFunc("/view", a.handleView)
 	mux.HandleFunc("/stop", a.handleStop)
+	mux.HandleFunc("/faults", a.handleFaults)
 	// Same tight phase bounds as the metrics server: a control port must
 	// not reopen the slowloris class the gossip listener's Limits close.
 	a.srv = &http.Server{
@@ -162,6 +164,26 @@ func (a *Agent) handleStop(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	writeJSON(w, map[string]bool{"stopping": true})
+}
+
+// handleFaults replaces this process's per-link fault rules: POST a JSON
+// array of transport.FaultRule (an empty array heals everything). The
+// rules land on the process-global fault set every registry transport
+// consults, which is how a chaos plan's partitions and lossy links reach
+// a forked psnode — the subprocess cluster driver pushes the same rule
+// table it would install locally for inproc members.
+func (a *Agent) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /faults", http.StatusMethodNotAllowed)
+		return
+	}
+	var rules []transport.FaultRule
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&rules); err != nil {
+		http.Error(w, "malformed fault rules: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	transport.Faults().SetRules(rules)
+	writeJSON(w, map[string]int{"active": transport.Faults().ActiveRules()})
 }
 
 // WriteReady atomically writes info as JSON at path (write-then-rename),
@@ -246,6 +268,26 @@ func (c *agentClient) view() ([]transport.Descriptor, error) {
 		view[i] = transport.Descriptor{Addr: e.Addr, Hop: e.Hop}
 	}
 	return view, nil
+}
+
+func (c *agentClient) setFaults(rules []transport.FaultRule) error {
+	if rules == nil {
+		rules = []transport.FaultRule{} // encode "heal" as [], not null
+	}
+	raw, err := json.Marshal(rules)
+	if err != nil {
+		return fmt.Errorf("fleet: fault rules: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/faults", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: agent %s/faults: status %d", c.base, resp.StatusCode)
+	}
+	return nil
 }
 
 func (c *agentClient) stopNode() error {

@@ -167,6 +167,13 @@ type Cluster interface {
 	// Snapshot observes every live member; members that fail to answer
 	// (dying mid-poll) are skipped.
 	Snapshot() []metrics.NodeSnapshot
+	// SetFaultRules replaces the per-link fault rules (cuts, loss,
+	// latency — see transport.FaultRule) every member's transport consults
+	// on its exchange path; nil heals everything. The inproc driver sets
+	// the process-global fault set, the subprocess driver pushes the rules
+	// to every live member's control agent; members spawned later inherit
+	// the current rules. internal/chaos drives this from named plans.
+	SetFaultRules(rules []transport.FaultRule) error
 	// Close tears the whole cluster down (gracefully where possible,
 	// forcibly otherwise) and releases scratch state. It is idempotent.
 	Close() error

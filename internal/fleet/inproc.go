@@ -21,6 +21,10 @@ type inprocCluster struct {
 	members []*inprocMember
 	next    int // monotonic member index; respawns get fresh names
 	closed  bool
+	// faulted remembers that SetFaultRules was used, so Close can heal
+	// the process-global fault set instead of leaking rules into whatever
+	// runs in this process next.
+	faulted bool
 }
 
 func newInproc(cfg Config) *inprocCluster {
@@ -221,6 +225,17 @@ func (c *inprocCluster) Snapshot() []metrics.NodeSnapshot {
 	return snaps
 }
 
+// SetFaultRules implements Cluster. Inproc members share this process's
+// transports, so the rules land on the process-global fault set — which
+// every registry backend consults — and cover future spawns for free.
+func (c *inprocCluster) SetFaultRules(rules []transport.FaultRule) error {
+	c.mu.Lock()
+	c.faulted = true
+	c.mu.Unlock()
+	transport.Faults().SetRules(rules)
+	return nil
+}
+
 func (c *inprocCluster) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -230,8 +245,12 @@ func (c *inprocCluster) Close() error {
 	c.closed = true
 	members := make([]*inprocMember, len(c.members))
 	copy(members, c.members)
+	faulted := c.faulted
 	c.mu.Unlock()
 
+	if faulted {
+		transport.Faults().SetRules(nil)
+	}
 	var first error
 	for _, m := range members {
 		if err := m.kill(); err != nil && first == nil {

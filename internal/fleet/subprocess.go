@@ -27,6 +27,10 @@ type subprocessCluster struct {
 	members []*subprocessMember
 	next    int
 	closed  bool
+	// faultRules is the rule table last set through SetFaultRules; Spawn
+	// pushes it to fresh members so respawns under an active chaos plan
+	// observe the same network the survivors do.
+	faultRules []transport.FaultRule
 }
 
 func newSubprocess(cfg Config) (*subprocessCluster, error) {
@@ -221,7 +225,17 @@ func (c *subprocessCluster) Spawn(contacts []string) (Member, error) {
 		return nil, errors.New("fleet: cluster closed")
 	}
 	c.members = append(c.members, m)
+	rules := c.faultRules
 	c.mu.Unlock()
+
+	if len(rules) > 0 {
+		// A member joining mid-plan must see the active faults; failing
+		// that is a spawn failure, not a silent hole in the partition.
+		if err := m.client.setFaults(rules); err != nil {
+			_ = c.killMember(m)
+			return nil, fmt.Errorf("fleet: member %s fault rules: %w", name, err)
+		}
+	}
 
 	if c.cfg.Collector != nil {
 		// The remote poller lands this member in the same exposition and
@@ -301,6 +315,33 @@ func (c *subprocessCluster) Snapshot() []metrics.NodeSnapshot {
 		}
 	}
 	return snaps
+}
+
+// SetFaultRules implements Cluster: the rule table is pushed to every
+// live member's control agent (each installs it on its process-global
+// fault set) and remembered for members spawned later. A member that
+// cannot be reached is skipped when it is already dead — its network
+// stack died with it — but a live member refusing the push is an error.
+func (c *subprocessCluster) SetFaultRules(rules []transport.FaultRule) error {
+	c.mu.Lock()
+	c.faultRules = append([]transport.FaultRule(nil), rules...)
+	members := make([]*subprocessMember, len(c.members))
+	copy(members, c.members)
+	c.mu.Unlock()
+
+	var errs []error
+	for _, m := range members {
+		if !m.Alive() {
+			continue
+		}
+		if err := m.client.setFaults(rules); err != nil {
+			if !m.Alive() { // died under the push: that is churn, not failure
+				continue
+			}
+			errs = append(errs, fmt.Errorf("fleet: member %s: %w", m.name, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func (c *subprocessCluster) Close() error {

@@ -435,6 +435,18 @@ func parseSampleN(raw string) (n int, present, ok bool) {
 	return n, present, true
 }
 
+// retryAfterSeconds renders the limiter's wait as the integral
+// Retry-After header value: rounded up to the next whole second (the
+// header has no finer unit, and rounding down would invite a guaranteed
+// second 429), never below 1.
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 func (g *Gateway) handleSample(w http.ResponseWriter, r *http.Request) {
 	start := g.now()
 	if r.Method != http.MethodGet {
@@ -455,7 +467,7 @@ func (g *Gateway) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	if allowed, retryAfter := g.limiter.allow(g.clientKey(r)); !allowed {
 		g.rateLimited.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)+1))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 		return
 	}

@@ -88,11 +88,30 @@ func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
 		b.last = now
 	}
 	if b.tokens < 1 {
-		wait := time.Duration((1 - b.tokens) / s.rate * float64(time.Second))
-		return false, wait
+		return false, retryWait(1-b.tokens, s.rate)
 	}
 	b.tokens--
 	return true, 0
+}
+
+// maxRetryWait caps the advertised retry wait. With a zero (or vanishing)
+// refill rate the true wait diverges, and pushing the resulting Inf — or
+// anything past ~292 years — through float64 into time.Duration overflows
+// into garbage, possibly negative. An hour already means "come back much
+// later" to an HTTP client.
+const maxRetryWait = time.Hour
+
+// retryWait converts a token deficit and refill rate into a bounded
+// Retry-After duration.
+func retryWait(missing, rate float64) time.Duration {
+	if rate <= 0 {
+		return maxRetryWait
+	}
+	secs := missing / rate
+	if secs >= maxRetryWait.Seconds() {
+		return maxRetryWait
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 // prune drops the shard's buckets that have refilled completely. Caller

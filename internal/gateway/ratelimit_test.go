@@ -1,0 +1,144 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// Retry-After must be the ceiling of the limiter's wait. The old
+// int(wait/time.Second)+1 rendering over-reported by a full second
+// whenever the wait was an exact multiple of a second — the 2s case
+// below returned 3.
+func TestRetryAfterSecondsCeiling(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Nanosecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Nanosecond, 2},
+		{2 * time.Second, 2}, // regression: was reported as 3
+		{2*time.Second + 500*time.Millisecond, 3},
+		{maxRetryWait, 3600},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.wait); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.wait, got, c.want)
+		}
+	}
+}
+
+// The header value is driven by rateLimiter.allow's actual duration: at
+// rate 0.5/s with an empty bucket the wait is exactly 2s, which must
+// render as Retry-After 2, not 3.
+func TestRetryAfterMatchesLimiterWait(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newRateLimiter(0.5, 1, func() time.Time { return now })
+	if ok, _ := l.allow("client"); !ok {
+		t.Fatal("first request denied")
+	}
+	ok, wait := l.allow("client")
+	if ok {
+		t.Fatal("second request allowed past burst 1")
+	}
+	if wait != 2*time.Second {
+		t.Fatalf("wait = %v, want exactly 2s", wait)
+	}
+	if got := retryAfterSeconds(wait); got != 2 {
+		t.Fatalf("Retry-After = %d for a 2s wait, want 2", got)
+	}
+}
+
+// A zero or vanishing refill rate must clamp the advertised wait instead
+// of pushing Inf (or an overflowing quotient) through float64 into
+// time.Duration — the old math produced a negative duration at rate 0,
+// which the handler then rendered as a garbage negative header.
+func TestRetryWaitClampsDegenerateRates(t *testing.T) {
+	for _, rate := range []float64{0, -1, 1e-300} {
+		now := time.Unix(0, 0)
+		l := newRateLimiter(rate, 1, func() time.Time { return now })
+		if ok, _ := l.allow("client"); !ok {
+			t.Fatalf("rate %v: first request denied despite burst", rate)
+		}
+		ok, wait := l.allow("client")
+		if ok {
+			t.Fatalf("rate %v: second request allowed past burst 1", rate)
+		}
+		if wait != maxRetryWait {
+			t.Fatalf("rate %v: wait = %v, want clamp to %v", rate, wait, maxRetryWait)
+		}
+		if got := retryAfterSeconds(wait); got < 1 {
+			t.Fatalf("rate %v: Retry-After = %d, want >= 1", rate, got)
+		}
+	}
+	// setRate reaches the same guard: dropping the rate to zero on a
+	// running limiter keeps the advertised wait bounded.
+	now := time.Unix(0, 0)
+	l := newRateLimiter(100, 1, func() time.Time { return now })
+	l.allow("client")
+	l.setRate(0, 1)
+	if ok, wait := l.allow("client"); ok || wait != maxRetryWait {
+		t.Fatalf("after setRate(0,1): ok=%v wait=%v, want denied with clamp", ok, wait)
+	}
+}
+
+// End-to-end over HTTP: the 429 carries a sane positive integral
+// Retry-After bounded by the worst-case full-bucket wait.
+func TestRateLimit429RetryAfterHeader(t *testing.T) {
+	g, err := New("127.0.0.1:0", &fakeSampler{peers: somePeers(4)}, Config{
+		Refresh: time.Hour, RateRPS: 0.2, Burst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if resp, _ := getSample(t, g.Addr(), ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d", resp.StatusCode)
+	}
+	resp, _ := getSample(t, g.Addr(), "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", resp.StatusCode)
+	}
+	v, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// One token at 0.2/s takes at most 5s to refill; any elapsed real time
+	// between the two requests only shortens the wait.
+	if v < 1 || v > 5 {
+		t.Fatalf("Retry-After = %d, want within [1,5]", v)
+	}
+}
+
+// The limiter's memory must stay bounded when every request carries a
+// fresh spoofed client key: once a shard holds its share of the prune
+// threshold, inserting the next key sweeps out the recovered buckets.
+func TestLimiterBoundedUnderSpoofedClientChurn(t *testing.T) {
+	now := time.Unix(0, 0)
+	// Burst 1 at 100/s: a bucket recovers 10ms after its request, so with
+	// the clock stepping 20ms per request every earlier bucket is always
+	// reclaimable by the time a prune fires.
+	l := newRateLimiter(100, 1, func() time.Time { return now })
+	maxSeen := 0
+	for i := 0; i < 10*limiterPruneThreshold; i++ {
+		now = now.Add(20 * time.Millisecond)
+		key := fmt.Sprintf("10.%d.%d.%d", i/65536, i/256%256, i%256)
+		if ok, _ := l.allow(key); !ok {
+			t.Fatalf("fresh client %s denied", key)
+		}
+		if n := l.clients(); n > maxSeen {
+			maxSeen = n
+		}
+	}
+	if maxSeen > limiterPruneThreshold {
+		t.Fatalf("tracked %d buckets under churn, want <= %d", maxSeen, limiterPruneThreshold)
+	}
+	if final := l.clients(); final > limiterPruneThreshold {
+		t.Fatalf("final bucket count %d, want <= %d", final, limiterPruneThreshold)
+	}
+}

@@ -112,7 +112,7 @@ func (d *Dumper) Dump() error {
 			gatewayUnchanged(prev.Gateway, s.Gateway) && appUnchanged(prev.App, s.App) {
 			continue
 		}
-		snaps = append(snaps, s)
+		snaps = append(snaps, trimChaos(s, d.last[s.Node]))
 	}
 
 	var b strings.Builder
@@ -143,6 +143,24 @@ func (d *Dumper) Dump() error {
 		d.last[s.Node] = s
 	}
 	return nil
+}
+
+// trimChaos drops the chaos events already emitted for this source in a
+// previous round, so each applied step lands in the dump exactly once
+// and (node,cycle,metric) stays unique. prev.Chaos.Events is cumulative,
+// which makes it the high-water mark into the Fired timeline.
+func trimChaos(s, prev NodeSnapshot) NodeSnapshot {
+	if s.Chaos == nil || prev.Chaos == nil {
+		return s
+	}
+	done := int(prev.Chaos.Events)
+	if done <= 0 || done > len(s.Chaos.Fired) {
+		return s
+	}
+	trimmed := *s.Chaos
+	trimmed.Fired = trimmed.Fired[done:]
+	s.Chaos = &trimmed
+	return s
 }
 
 // appUnchanged compares two workload snapshots; app.Snapshot is all

@@ -100,6 +100,48 @@ type NodeSnapshot struct {
 	// JSON unchanged, so subprocess members report workloads exactly like
 	// in-process ones.
 	App *app.Snapshot `json:"app,omitempty"`
+
+	// Chaos holds a fault-plan executor's state; nil for ordinary node
+	// sources. A chaos source reports its fired-event count as Cycles, so
+	// the dumper emits a round exactly when the plan advanced.
+	Chaos *ChaosSnapshot `json:"chaos,omitempty"`
+}
+
+// ChaosSnapshot is a chaos executor's observable state: which plan is
+// running, how far its timeline has advanced, and what it has done to the
+// fleet so far (see internal/chaos).
+type ChaosSnapshot struct {
+	// Plan names the fault plan driving the fleet.
+	Plan string `json:"plan"`
+	// Events counts timeline steps applied so far (including derived
+	// respawn and rule-expiry steps).
+	Events uint64 `json:"events"`
+	// ActiveRules is the number of fault rules currently installed on the
+	// fleet's transports.
+	ActiveRules int `json:"active_rules"`
+	// Killed / Respawned count members removed and replaced by the plan.
+	Killed    uint64 `json:"killed"`
+	Respawned uint64 `json:"respawned"`
+	// FloodDials counts connections the plan's flood events threw.
+	FloodDials uint64 `json:"flood_dials"`
+	// Fired is the applied timeline so far, oldest first.
+	Fired []ChaosEvent `json:"fired,omitempty"`
+}
+
+// ChaosEvent is one applied fault-plan step.
+type ChaosEvent struct {
+	// Seq is the step's position in the compiled timeline (0-based).
+	Seq int `json:"seq"`
+	// Action is the step kind: kill, respawn, partition, heal, latency,
+	// loss, flood, expire.
+	Action string `json:"action"`
+	// AtSeconds is the step's plan-time offset.
+	AtSeconds float64 `json:"at_seconds"`
+	// UnixMillis is when the step was applied on the wall clock.
+	UnixMillis int64 `json:"unix_ms"`
+	// Targets counts what the step touched: members killed or spawned,
+	// rules installed or removed, flooder goroutines launched.
+	Targets int `json:"targets"`
 }
 
 // GatewaySnapshot is the sampling gateway's observable state: request
@@ -182,6 +224,25 @@ func (s NodeSnapshot) Rows() []LongRow {
 			rows = append(rows,
 				LongRow{s.Node, int(s.Cycles), "gateway_latency_p50", g.Latency.Quantile(0.50)},
 				LongRow{s.Node, int(s.Cycles), "gateway_latency_p99", g.Latency.Quantile(0.99)},
+			)
+		}
+	}
+	if c := s.Chaos; c != nil {
+		rows = append(rows,
+			LongRow{s.Node, int(s.Cycles), "chaos_active_rules", float64(c.ActiveRules)},
+			LongRow{s.Node, int(s.Cycles), "chaos_killed", float64(c.Killed)},
+			LongRow{s.Node, int(s.Cycles), "chaos_respawned", float64(c.Respawned)},
+			LongRow{s.Node, int(s.Cycles), "chaos_flood_dials", float64(c.FloodDials)},
+		)
+		// One chaos_event row per applied step, keyed by its timeline
+		// position, valued by its wall-clock second — the join column
+		// against the convergence trace's source_last_update times. The
+		// dumper trims Fired to the steps applied since the previous round
+		// (see dump.go), keeping (node,cycle,metric) unique in dump files.
+		for _, e := range c.Fired {
+			rows = append(rows,
+				LongRow{s.Node, e.Seq, "chaos_event", float64(e.UnixMillis) / 1000},
+				LongRow{s.Node, e.Seq, "chaos_event_" + e.Action, float64(e.Targets)},
 			)
 		}
 	}

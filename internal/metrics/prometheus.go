@@ -58,6 +58,7 @@ func promFamilies(snaps []NodeSnapshot) []promFamily {
 	}
 	families = append(families, appFamilies()...)
 	families = append(families, gatewayFamilies()...)
+	families = append(families, chaosFamilies()...)
 	for _, wire := range wireCounterNames(snaps) {
 		name := wire // capture
 		families = append(families, promFamily{
@@ -138,6 +139,30 @@ func gatewayFamilies() []promFamily {
 			gw(func(g *GatewaySnapshot) float64 { return float64(g.CacheSize) })},
 		{"peersampling_gateway_cache_age_seconds", "Age of the current sample batch.", "gauge",
 			gw(func(g *GatewaySnapshot) float64 { return g.CacheAgeSeconds })},
+	}
+}
+
+// chaosFamilies enumerates the fault-plan executor's families. Samples
+// are emitted only for snapshots carrying a ChaosSnapshot — one source
+// per running plan, beside the node sources it is disturbing.
+func chaosFamilies() []promFamily {
+	ch := func(read func(c *ChaosSnapshot) float64) func(NodeSnapshot) (float64, bool) {
+		return func(s NodeSnapshot) (float64, bool) {
+			if s.Chaos == nil {
+				return 0, false
+			}
+			return read(s.Chaos), true
+		}
+	}
+	return []promFamily{
+		{"peersampling_chaos_active", "Fault rules currently installed on the fleet's transports by the running chaos plan.", "gauge",
+			ch(func(c *ChaosSnapshot) float64 { return float64(c.ActiveRules) })},
+		{"peersampling_chaos_events_total", "Chaos plan timeline steps applied (kills, partitions, rule expiries, floods).", "counter",
+			ch(func(c *ChaosSnapshot) float64 { return float64(c.Events) })},
+		{"peersampling_chaos_killed_total", "Members killed by the chaos plan.", "counter",
+			ch(func(c *ChaosSnapshot) float64 { return float64(c.Killed) })},
+		{"peersampling_chaos_respawned_total", "Members respawned by the chaos plan.", "counter",
+			ch(func(c *ChaosSnapshot) float64 { return float64(c.Respawned) })},
 	}
 }
 

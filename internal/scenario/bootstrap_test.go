@@ -212,8 +212,8 @@ func TestForEachPar(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	defs := All()
-	if len(defs) != 18 {
-		t.Fatalf("registry has %d entries want 18", len(defs))
+	if len(defs) != 19 {
+		t.Fatalf("registry has %d entries want 19", len(defs))
 	}
 	ids := map[string]bool{}
 	for _, d := range defs {
@@ -229,6 +229,7 @@ func TestFindAndAll(t *testing.T) {
 	live := map[string]bool{
 		"hostile": true, "bootstrap": true, "livechurn": true,
 		"livebroadcast": true, "liveaggregate": true, "livegateway": true,
+		"partitionheal": true,
 	}
 	for _, d := range defs {
 		wantLive := live[d.ID]

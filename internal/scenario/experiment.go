@@ -97,6 +97,11 @@ func All() []Def {
 			runLiveDirect(liveGatewayDef),
 			liveGatewayDef,
 		},
+		{
+			"partitionheal", "Extension: partition and heal a live fleet from a declarative fault plan",
+			runLiveDirect(livePartitionDef),
+			livePartitionDef,
+		},
 		{"ablation", "Ablation: overlay quality and robustness versus view size c", func(sc Scale, seed uint64) Result { return RunAblation(sc, seed) }, nil},
 	}
 }
@@ -125,6 +130,10 @@ func liveAggregateDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
 
 func liveGatewayDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
 	return RunLiveGateway(sc, seed, env)
+}
+
+func livePartitionDef(sc Scale, seed uint64, env LiveEnv) (Result, error) {
+	return RunLivePartition(sc, seed, env)
 }
 
 // Find returns the experiment definition with the given ID.

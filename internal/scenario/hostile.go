@@ -2,12 +2,10 @@ package scenario
 
 import (
 	"fmt"
-	"net"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
+	"peersampling/internal/chaos"
 	"peersampling/internal/core"
 	"peersampling/internal/fleet"
 	"peersampling/internal/transport"
@@ -31,20 +29,26 @@ import (
 // are real-network nondeterministic; the invariants reported — rejects
 // observed, evictions reclaiming slots, views still complete — are not.
 
-// hostileParams derives live-cluster parameters from a simulation Scale:
-// the cluster is necessarily much smaller than the paper's 10^4 (every
-// node owns a real listener), growing mildly with the scale.
+// hostilePlan names the fault plan the experiment replays: a connection
+// flood against the member named "victim" (see internal/chaos/plans).
+const hostilePlan = "hostile-flood"
+
+// hostileParams derives live-cluster parameters from a simulation Scale
+// (the cluster is necessarily much smaller than the paper's 10^4 — every
+// node owns a real listener, growing mildly with the scale) and the
+// attack's shape from the named chaos plan.
 type hostileParams struct {
 	Nodes     int           // live cluster size
 	ViewSize  int           // view capacity, capped below cluster size
 	MaxConns  int           // victim's listener cap, deliberately tight
 	KeepAlive time.Duration // full keep-alive budget (shrunken budgets derive)
 	Period    time.Duration // gossip period T
-	Attack    time.Duration // flood duration
-	Flooders  int           // concurrent attacker goroutines
+	Plan      string        // chaos plan driving the attack
+	Attack    time.Duration // flood duration (from the plan)
+	Flooders  int           // concurrent attacker goroutines (from the plan)
 }
 
-func hostileDerive(sc Scale) hostileParams {
+func hostileDerive(sc Scale, plan *chaos.Plan) hostileParams {
 	nodes := sc.N / 50
 	if nodes < 8 {
 		nodes = 8
@@ -56,14 +60,16 @@ func hostileDerive(sc Scale) hostileParams {
 	if view > nodes-1 {
 		view = nodes - 1
 	}
+	flood, _ := plan.FirstFlood()
 	return hostileParams{
 		Nodes:     nodes,
 		ViewSize:  view,
 		MaxConns:  nodes, // tight: the flood WILL hit the cap
 		KeepAlive: 400 * time.Millisecond,
 		Period:    20 * time.Millisecond,
-		Attack:    1500 * time.Millisecond,
-		Flooders:  3,
+		Plan:      plan.Name,
+		Attack:    flood.For,
+		Flooders:  flood.Flooders,
 	}
 }
 
@@ -106,8 +112,8 @@ func (r *HostileResult) Render() string {
 	fmt.Fprintf(&b, "Hostile network: connection flood + slowloris against a live cluster\n")
 	fmt.Fprintf(&b, "cluster: %d nodes (%s driver), c=%d, T=%v, tcp backend, max-conns=%d, keepalive=%v\n",
 		r.Params.Nodes, r.Driver, r.Params.ViewSize, r.Params.Period, r.Params.MaxConns, r.Params.KeepAlive)
-	fmt.Fprintf(&b, "attack: %d flooders for %v -> %d connections thrown at one node\n",
-		r.Params.Flooders, r.Params.Attack, r.FloodDials)
+	fmt.Fprintf(&b, "attack: plan=%s: %d flooders for %v -> %d connections thrown at one node\n",
+		r.Params.Plan, r.Params.Flooders, r.Params.Attack, r.FloodDials)
 	fmt.Fprintf(&b, "%-34s %10s\n", "", "value")
 	fmt.Fprintf(&b, "%-34s %10d\n", "accepts rejected at the cap", r.AcceptRejects)
 	fmt.Fprintf(&b, "%-34s %10d\n", "slowloris conns evicted", r.KeepAliveEvictions)
@@ -131,7 +137,11 @@ func (r *HostileResult) Render() string {
 // climbing on the victim while every node's view-size gauge holds. The
 // seed drives protocol randomness only; socket timing is inherently real.
 func RunHostile(sc Scale, seed uint64, env LiveEnv) (*HostileResult, error) {
-	p := hostileDerive(sc)
+	plan, err := chaos.Load(hostilePlan)
+	if err != nil {
+		return nil, err
+	}
+	p := hostileDerive(sc, plan)
 	res := &HostileResult{Params: p, Driver: env.DriverName()}
 
 	cluster, err := env.cluster(fleet.Config{
@@ -163,71 +173,22 @@ func RunHostile(sc Scale, seed uint64, env LiveEnv) (*HostileResult, error) {
 	// Let the overlay converge before the attack (bounded wait).
 	waitCompleteViews(members, p.Period, 20*p.Period*time.Duration(p.Nodes))
 
-	// Attack: flooders dial the victim and hold everything they get open
-	// without ever writing a byte — each admitted connection is a
-	// slowloris occupying a serve slot until the first-frame window
-	// evicts it, and everything beyond the cap is rejected on accept.
+	// Attack: the plan's flood event. Flooders dial the victim and hold
+	// everything they get open without ever writing a byte — each admitted
+	// connection is a slowloris occupying a serve slot until the
+	// first-frame window evicts it, and everything beyond the cap is
+	// rejected on accept. The executor's Step blocks for the attack's
+	// whole duration.
 	victimBefore, err := victim.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("scenario: hostile: victim snapshot: %w", err)
 	}
-	stopAttack := make(chan struct{})
-	var dials atomic.Uint64
-	var attackers sync.WaitGroup
-	for f := 0; f < p.Flooders; f++ {
-		attackers.Add(1)
-		go func() {
-			defer attackers.Done()
-			// Slowloris arm: a batch of connections held silent for the
-			// whole attack. The admitted ones sit on a serve slot until the
-			// first-frame window expires and the listener evicts them.
-			loris := make([]net.Conn, 0, 8)
-			defer func() {
-				for _, c := range loris {
-					c.Close()
-				}
-			}()
-			for len(loris) < cap(loris) {
-				c, err := net.DialTimeout("tcp", victim.Addr(), time.Second)
-				dials.Add(1)
-				if err != nil {
-					break
-				}
-				loris = append(loris, c)
-			}
-			// Flood arm: dial as fast as possible, recycling our own fds.
-			held := make([]net.Conn, 0, 64)
-			defer func() {
-				for _, c := range held {
-					c.Close()
-				}
-			}()
-			for {
-				select {
-				case <-stopAttack:
-					return
-				default:
-				}
-				c, err := net.DialTimeout("tcp", victim.Addr(), time.Second)
-				dials.Add(1)
-				if err != nil {
-					continue // kernel backlog full: the flood saturating itself
-				}
-				held = append(held, c)
-				if len(held) == cap(held) {
-					// Recycle our own fds; the server has long since closed
-					// (rejected or evicted) most of these anyway.
-					for _, old := range held[:32] {
-						old.Close()
-					}
-					held = append(held[:0], held[32:]...)
-				}
-			}
-		}()
+	ex := chaos.New(plan, cluster, members, chaos.Options{Seed: mix(seed, 0x05711E)})
+	defer ex.Close()
+	attack, err := ex.Step()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: hostile: %w", err)
 	}
-	time.Sleep(p.Attack)
-	close(stopAttack)
-	attackers.Wait()
 	victimAfter, err := victim.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("scenario: hostile: victim snapshot after attack: %w", err)
@@ -235,7 +196,7 @@ func RunHostile(sc Scale, seed uint64, env LiveEnv) (*HostileResult, error) {
 
 	// Post-attack: give the overlay a short settle window, then measure.
 	res.CompleteViews, _ = waitCompleteViews(members, p.Period, 10*p.Period*time.Duration(p.Nodes))
-	res.FloodDials = dials.Load()
+	res.FloodDials = attack.FloodDials
 	if victimAfter.Wire != nil {
 		res.AcceptRejects = victimAfter.Wire.AcceptRejects
 		res.KeepAliveEvictions = victimAfter.Wire.KeepAliveEvictions

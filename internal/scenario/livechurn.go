@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"peersampling/internal/chaos"
 	"peersampling/internal/core"
 	"peersampling/internal/fleet"
 )
@@ -20,16 +21,22 @@ import (
 // absorb the replacements to full membership, with failed exchanges
 // against dead peers staying routine noise.
 
-// liveChurnParams derives the fleet's shape from a simulation Scale.
+// liveChurnPlan names the fault plan the experiment replays: two kill
+// waves with respawns (see internal/chaos/plans).
+const liveChurnPlan = "churn-waves"
+
+// liveChurnParams derives the fleet's shape from a simulation Scale and
+// the churn schedule from the named chaos plan.
 type liveChurnParams struct {
 	Nodes        int           // fleet size at full strength
 	ViewSize     int           // view capacity, capped below fleet size
 	Period       time.Duration // gossip period T
-	KillFraction float64       // fraction of live members killed per round
-	Rounds       int           // kill/respawn rounds
+	Plan         string        // chaos plan driving the kill waves
+	KillFraction float64       // fraction of live members killed per wave (from the plan)
+	Rounds       int           // kill/respawn rounds (the plan's kill-wave count)
 }
 
-func liveChurnDerive(sc Scale) liveChurnParams {
+func liveChurnDerive(sc Scale, plan *chaos.Plan) liveChurnParams {
 	nodes := sc.N / 50
 	if nodes < 8 {
 		nodes = 8
@@ -41,12 +48,14 @@ func liveChurnDerive(sc Scale) liveChurnParams {
 	if view > nodes-1 {
 		view = nodes - 1
 	}
+	waves := plan.KillWaves()
 	return liveChurnParams{
 		Nodes:        nodes,
 		ViewSize:     view,
 		Period:       20 * time.Millisecond,
-		KillFraction: 0.25,
-		Rounds:       2,
+		Plan:         plan.Name,
+		KillFraction: waves[0].Fraction,
+		Rounds:       len(waves),
 	}
 }
 
@@ -115,9 +124,9 @@ func (r *LiveChurnResult) Converged() bool {
 func (r *LiveChurnResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Live churn: kill and respawn waves against a real fleet\n")
-	fmt.Fprintf(&b, "fleet: %d nodes (%s driver), c=%d, T=%v, %.0f%% killed per round, %d rounds\n",
+	fmt.Fprintf(&b, "fleet: %d nodes (%s driver), c=%d, T=%v, plan=%s: %.0f%% killed per round, %d rounds\n",
 		r.Params.Nodes, r.Driver, r.Params.ViewSize, r.Params.Period,
-		r.Params.KillFraction*100, r.Params.Rounds)
+		r.Params.Plan, r.Params.KillFraction*100, r.Params.Rounds)
 	fmt.Fprintf(&b, "%-38s %10s\n", "", "value")
 	fmt.Fprintf(&b, "%-38s %7d/%2d\n", "complete views after bootstrap", r.BootstrapComplete, r.Params.Nodes)
 	fmt.Fprintf(&b, "%-38s %10v\n", "bootstrap time", r.BootstrapTime.Round(time.Millisecond))
@@ -134,17 +143,22 @@ func (r *LiveChurnResult) Render() string {
 	return b.String()
 }
 
-// RunLiveChurn boots a fleet on env's fleet driver, then repeatedly kills
-// KillFraction of the live members (hard kill — no goodbye gossip) and
-// respawns the same number against surviving contacts, asserting
-// re-convergence after each wave. Kill victims are chosen by the seeded
-// RNG; with env.Collector set, respawned members register under fresh
-// names and dead subprocess members stay visible as stale sources. The
-// seed drives victim choice and protocol randomness; timing is real.
+// RunLiveChurn boots a fleet on env's fleet driver, then replays the
+// churn-waves chaos plan against it: each plan wave kills a fraction of
+// the live members (hard kill — no goodbye gossip) and respawns the same
+// number against surviving contacts, with the scenario asserting
+// re-convergence between the executor's steps. Kill victims are chosen
+// by the executor's seeded RNG; with env.Collector set, respawned
+// members register under fresh names and dead subprocess members stay
+// visible as stale sources. The seed drives victim choice and protocol
+// randomness; timing is real.
 func RunLiveChurn(sc Scale, seed uint64, env LiveEnv) (*LiveChurnResult, error) {
-	p := liveChurnDerive(sc)
+	plan, err := chaos.Load(liveChurnPlan)
+	if err != nil {
+		return nil, err
+	}
+	p := liveChurnDerive(sc, plan)
 	res := &LiveChurnResult{Params: p, Driver: env.DriverName()}
-	rng := newRand(mix(seed, 0x4C1))
 
 	cluster, err := env.cluster(fleet.Config{
 		Protocol: core.Newscast,
@@ -163,9 +177,10 @@ func RunLiveChurn(sc Scale, seed uint64, env LiveEnv) (*LiveChurnResult, error) 
 		return nil, err
 	}
 	ever := liveAddrs(members)
-	// Dead members drop out of Cluster.Snapshot, so their failure
-	// counters are captured at kill time to keep the fleet-wide total
-	// honest — the killed members are exactly the ones churn hit.
+	// Dead members drop out of Cluster.Snapshot, so the executor captures
+	// their failure counters at kill time (Applied.KilledFailures) to keep
+	// the fleet-wide total honest — the killed members are exactly the
+	// ones churn hit.
 	var deadFailures uint64
 	// Subprocess members take real process-spawn time; the flat grace on
 	// top of the gossip-scaled deadline covers it on loaded CI machines.
@@ -173,31 +188,26 @@ func RunLiveChurn(sc Scale, seed uint64, env LiveEnv) (*LiveChurnResult, error) 
 
 	res.BootstrapComplete, res.BootstrapTime = waitCompleteViews(members, p.Period, phaseTimeout)
 
+	// The executor owns victim choice and respawn bootstrapping from here;
+	// the scenario paces it with Step so each wave is measured between
+	// kill and respawn. No Collector: the executor would register as an
+	// extra source, and this experiment's collector contract is "the fleet
+	// plus every respawn".
+	ex := chaos.New(plan, cluster, members, chaos.Options{Seed: mix(seed, 0x4C1)})
+	defer ex.Close()
+
 	for round := 0; round < p.Rounds; round++ {
 		report := LiveChurnRound{}
 
-		// Kill wave: pick ceil(fraction * live) distinct live members.
-		alive := make([]fleet.Member, 0, len(members))
-		for _, m := range members {
-			if m.Alive() {
-				alive = append(alive, m)
-			}
+		// Kill wave: the plan's next step removes ceil(fraction * live).
+		ap, err := ex.Step()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: churn round %d: %w", round+1, err)
 		}
-		kill := (len(alive)*int(p.KillFraction*100) + 99) / 100
-		if kill < 1 {
-			kill = 1
-		}
-		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
-		for _, victim := range alive[:kill] {
-			if s, err := victim.Snapshot(); err == nil {
-				deadFailures += s.Failures
-			}
-			if err := cluster.Kill(victim); err != nil {
-				return nil, fmt.Errorf("scenario: churn round %d: kill %s: %w", round+1, victim.Name(), err)
-			}
-		}
-		report.Killed = kill
-		res.KilledTotal += kill
+		deadFailures += ap.KilledFailures
+		report.Killed = len(ap.Killed)
+		res.KilledTotal += len(ap.Killed)
+		members = ex.Members()
 
 		// Survivors must re-converge among themselves.
 		var complete int
@@ -205,21 +215,18 @@ func RunLiveChurn(sc Scale, seed uint64, env LiveEnv) (*LiveChurnResult, error) 
 		_, live := completeLiveViews(members)
 		report.SurvivorsReconverged = complete == live
 
-		// Respawn wave: fresh joiners bootstrapped from surviving
-		// contacts (up to three, like a deployment's contact list).
-		contacts := cluster.Addrs()
-		if len(contacts) > 3 {
-			contacts = contacts[:3]
-		}
-		joiners, err := fleet.SpawnN(cluster, kill, contacts)
-		for _, m := range joiners {
-			members = append(members, m)
-			ever[m.Addr()] = true
-			report.Respawned++
-		}
+		// Respawn wave: the derived step spawns as many fresh joiners as
+		// the wave killed, bootstrapped from surviving contacts (up to
+		// three, like a deployment's contact list).
+		ap, err = ex.Step()
 		if err != nil {
-			return nil, fmt.Errorf("scenario: churn round %d: respawn: %w", round+1, err)
+			return nil, fmt.Errorf("scenario: churn round %d: %w", round+1, err)
 		}
+		for _, m := range ap.Spawned {
+			ever[m.Addr()] = true
+		}
+		report.Respawned = len(ap.Spawned)
+		members = ex.Members()
 		complete, report.AfterRespawn = waitCompleteViews(members, p.Period, phaseTimeout)
 		_, live = completeLiveViews(members)
 		report.FullReconverged = complete == live && live == p.Nodes

@@ -3,10 +3,10 @@ package scenario
 import (
 	"context"
 	"fmt"
-	"math/rand/v2"
 	"strings"
 	"time"
 
+	"peersampling/internal/chaos"
 	"peersampling/internal/config"
 	"peersampling/internal/core"
 	"peersampling/internal/fleet"
@@ -25,7 +25,12 @@ import (
 // rate limit (driven through spoofed X-Forwarded-For identities against
 // trust_proxy_header) never collapses distinct clients into one bucket.
 
-// liveGatewayParams derives the fleet's shape from a simulation Scale.
+// liveGatewayPlan names the fault plan the experiment replays: one kill
+// wave 500ms into the marked load stage (see internal/chaos/plans).
+const liveGatewayPlan = "gateway-kill"
+
+// liveGatewayParams derives the fleet's shape from a simulation Scale
+// and the kill wave from the named chaos plan.
 type liveGatewayParams struct {
 	Nodes        int           // fleet size; every member serves a gateway
 	ViewSize     int           // view capacity, capped below fleet size
@@ -33,7 +38,8 @@ type liveGatewayParams struct {
 	Refresh      time.Duration // gateway sample-cache refresh interval
 	RateRPS      float64       // per-client token refill rate
 	Burst        int           // per-client token bucket capacity
-	KillFraction float64       // fraction of the fleet killed mid-ramp
+	Plan         string        // chaos plan driving the kill wave
+	KillFraction float64       // fraction of the fleet killed mid-ramp (from the plan)
 	Stages       []loadStage   // the pressure ramp
 	// P99Budget and FreshnessBudget bound the surviving gateways' tail
 	// latency and sample age for Converged. RequestTimeout caps each
@@ -48,11 +54,12 @@ type loadStage struct {
 	Clients  int
 	RPS      float64 // per client
 	Duration time.Duration
-	// Kill fires the kill wave a third into this stage.
+	// Kill starts the chaos plan at the beginning of this stage; the
+	// wave lands at the plan's own offset into it.
 	Kill bool
 }
 
-func liveGatewayDerive(sc Scale) liveGatewayParams {
+func liveGatewayDerive(sc Scale, plan *chaos.Plan) liveGatewayParams {
 	nodes := sc.N / 100
 	if nodes < 4 {
 		nodes = 4
@@ -64,6 +71,7 @@ func liveGatewayDerive(sc Scale) liveGatewayParams {
 	if view > nodes-1 {
 		view = nodes - 1
 	}
+	waves := plan.KillWaves()
 	p := liveGatewayParams{
 		Nodes:        nodes,
 		ViewSize:     view,
@@ -71,7 +79,8 @@ func liveGatewayDerive(sc Scale) liveGatewayParams {
 		Refresh:      50 * time.Millisecond,
 		RateRPS:      50,
 		Burst:        100,
-		KillFraction: 0.25,
+		Plan:         plan.Name,
+		KillFraction: waves[0].Fraction,
 		Stages: []loadStage{
 			{Clients: 250, RPS: 6, Duration: 1200 * time.Millisecond},
 			{Clients: 1000, RPS: 2, Duration: 1500 * time.Millisecond, Kill: true},
@@ -147,9 +156,9 @@ func (r *LiveGatewayResult) Converged() bool {
 func (r *LiveGatewayResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Live gateway: sampling API under ramping load and a kill wave\n")
-	fmt.Fprintf(&b, "fleet: %d nodes (%s driver), c=%d, T=%v, refresh=%v, limit %.0f rps burst %d per client\n",
+	fmt.Fprintf(&b, "fleet: %d nodes (%s driver), c=%d, T=%v, refresh=%v, limit %.0f rps burst %d per client, plan=%s\n",
 		r.Params.Nodes, r.Driver, r.Params.ViewSize, r.Params.Period, r.Params.Refresh,
-		r.Params.RateRPS, r.Params.Burst)
+		r.Params.RateRPS, r.Params.Burst, r.Params.Plan)
 	fmt.Fprintf(&b, "%-38s %7d/%2d\n", "complete views after bootstrap", r.BootstrapComplete, r.Params.Nodes)
 	fmt.Fprintf(&b, "%-38s %10v\n", "bootstrap time", r.BootstrapTime.Round(time.Millisecond))
 	for i, st := range r.Stages {
@@ -178,16 +187,20 @@ func (r *LiveGatewayResult) CSV() map[string]string {
 }
 
 // RunLiveGateway boots a gateway-enabled fleet on env's driver, ramps
-// the load generator through the parameter stages, and fires a hard
-// kill wave (seeded victim choice, no goodbye) a third into the marked
-// stage. Stats are tallied per gateway, and each stage's verdict reads
-// only the gateways still alive when the stage ends — a killed
-// gateway's connection errors are the expected cost of churn, not a
-// serving failure.
+// the load generator through the parameter stages, and replays the
+// gateway-kill chaos plan from the start of the marked stage — a hard
+// kill wave (seeded victim choice, no goodbye) landing at the plan's
+// offset into it. Stats are tallied per gateway, and each stage's
+// verdict reads only the gateways still alive when the stage ends — a
+// killed gateway's connection errors are the expected cost of churn,
+// not a serving failure.
 func RunLiveGateway(sc Scale, seed uint64, env LiveEnv) (*LiveGatewayResult, error) {
-	p := liveGatewayDerive(sc)
+	plan, err := chaos.Load(liveGatewayPlan)
+	if err != nil {
+		return nil, err
+	}
+	p := liveGatewayDerive(sc, plan)
 	res := &LiveGatewayResult{Params: p, Driver: env.DriverName()}
-	rng := newRand(mix(seed, 0x6A7E))
 
 	cluster, err := env.cluster(fleet.Config{
 		Protocol: core.Newscast,
@@ -224,6 +237,9 @@ func RunLiveGateway(sc Scale, seed uint64, env LiveEnv) (*LiveGatewayResult, err
 		gatewayOf[addr] = m
 	}
 
+	ex := chaos.New(plan, cluster, members, chaos.Options{Seed: mix(seed, 0x6A7E)})
+	defer ex.Close()
+
 	for _, stage := range p.Stages {
 		report := LiveGatewayStage{Clients: stage.Clients, RPS: stage.RPS}
 
@@ -240,14 +256,22 @@ func RunLiveGateway(sc Scale, seed uint64, env LiveEnv) (*LiveGatewayResult, err
 			return nil, fmt.Errorf("scenario: no live gateways left before stage")
 		}
 
-		killDone := make(chan int, 1)
+		// The marked stage runs the chaos plan on its own clock alongside
+		// the load: Run sleeps out the plan's offsets, so the wave lands
+		// mid-stage while clients keep hammering every gateway.
+		type killReport struct {
+			killed int
+			err    error
+		}
+		killDone := make(chan killReport, 1)
 		if stage.Kill {
 			go func() {
-				time.Sleep(stage.Duration / 3)
-				killDone <- killWave(cluster, members, p.KillFraction, rng)
+				before := ex.KilledTotal()
+				err := ex.Run(context.Background())
+				killDone <- killReport{killed: ex.KilledTotal() - before, err: err}
 			}()
 		} else {
-			killDone <- 0
+			killDone <- killReport{}
 		}
 
 		lr, err := load.Run(context.Background(), load.Config{
@@ -262,8 +286,12 @@ func RunLiveGateway(sc Scale, seed uint64, env LiveEnv) (*LiveGatewayResult, err
 		if err != nil {
 			return nil, fmt.Errorf("scenario: livegateway load: %w", err)
 		}
-		report.Killed = <-killDone
-		res.KilledTotal += report.Killed
+		kr := <-killDone
+		if kr.err != nil {
+			return nil, fmt.Errorf("scenario: livegateway chaos plan: %w", kr.err)
+		}
+		report.Killed = kr.killed
+		res.KilledTotal += kr.killed
 		report.Load = lr
 
 		// The stage verdict reads survivors only.
@@ -293,27 +321,4 @@ func RunLiveGateway(sc Scale, seed uint64, env LiveEnv) (*LiveGatewayResult, err
 		}
 	}
 	return res, nil
-}
-
-// killWave hard-kills ceil(fraction × live) members chosen by the
-// seeded RNG, returning how many died.
-func killWave(cluster fleet.Cluster, members []fleet.Member, fraction float64, rng *rand.Rand) int {
-	alive := make([]fleet.Member, 0, len(members))
-	for _, m := range members {
-		if m.Alive() {
-			alive = append(alive, m)
-		}
-	}
-	kill := (len(alive)*int(fraction*100) + 99) / 100
-	if kill < 1 {
-		kill = 1
-	}
-	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
-	killed := 0
-	for _, victim := range alive[:kill] {
-		if cluster.Kill(victim) == nil {
-			killed++
-		}
-	}
-	return killed
 }

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultSetRuleSemantics(t *testing.T) {
+	f := NewFaultSet(7)
+	f.SetRules([]FaultRule{
+		{From: "a", To: "b", Cut: true},
+		{From: "*", To: "c", Latency: 5 * time.Millisecond},
+		{From: "a", To: "*", Latency: 2 * time.Millisecond},
+	})
+	if got := f.ActiveRules(); got != 3 {
+		t.Fatalf("ActiveRules = %d, want 3", got)
+	}
+
+	if _, err := f.Inject("a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cut a->b: err = %v, want ErrUnreachable", err)
+	}
+	// Direction matters: the reverse edge is untouched (b->a matches only
+	// no rule).
+	if d, err := f.Inject("b", "a"); err != nil || d != 0 {
+		t.Fatalf("b->a: d=%v err=%v, want clean", d, err)
+	}
+	// Two latency rules match a->c; the larger applies.
+	if d, err := f.Inject("a", "c"); err != nil || d != 5*time.Millisecond {
+		t.Fatalf("a->c: d=%v err=%v, want 5ms", d, err)
+	}
+	if d, err := f.Inject("a", "z"); err != nil || d != 2*time.Millisecond {
+		t.Fatalf("a->z: d=%v err=%v, want 2ms", d, err)
+	}
+
+	f.SetRules(nil)
+	if got := f.ActiveRules(); got != 0 {
+		t.Fatalf("ActiveRules after heal = %d, want 0", got)
+	}
+	if _, err := f.Inject("a", "b"); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestFaultSetLossIsSeededAndBounded(t *testing.T) {
+	f := NewFaultSet(42)
+	f.SetRules([]FaultRule{{From: "*", To: "*", Loss: 0.5}})
+	dropped := 0
+	for i := 0; i < 1000; i++ {
+		if _, err := f.Inject("x", "y"); errors.Is(err, ErrDropped) {
+			dropped++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if dropped < 400 || dropped > 600 {
+		t.Fatalf("dropped %d/1000 at loss 0.5", dropped)
+	}
+	// Same seed, same decisions: the replay property chaos plans rely on.
+	g := NewFaultSet(1)
+	g.Reseed(42)
+	g.SetRules([]FaultRule{{From: "*", To: "*", Loss: 0.5}})
+	redropped := 0
+	for i := 0; i < 1000; i++ {
+		if _, err := g.Inject("x", "y"); errors.Is(err, ErrDropped) {
+			redropped++
+		}
+	}
+	if redropped != dropped {
+		t.Fatalf("reseeded replay dropped %d, first run dropped %d", redropped, dropped)
+	}
+}
+
+// TestGlobalFaultsCutLiveTCP proves the registry backends consult the
+// process-global fault set on the dial path: a directed cut rule fails
+// the exchange before any socket work, and healing restores traffic.
+func TestGlobalFaultsCutLiveTCP(t *testing.T) {
+	server, err := ListenTCP("127.0.0.1:0", func(req Request) (Response, bool) {
+		return Response{From: "server"}, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := ListenTCP("127.0.0.1:0", func(Request) (Response, bool) { return Response{}, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	Faults().SetRules([]FaultRule{{From: client.Addr(), To: server.Addr(), Cut: true}})
+	defer Faults().SetRules(nil)
+
+	req := Request{From: client.Addr(), WantReply: true}
+	if _, _, err := client.Exchange(context.Background(), server.Addr(), req); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cut exchange: err = %v, want ErrUnreachable", err)
+	}
+	// The passive side is a different from-address: the directed rule must
+	// not block the server's own active exchanges to the client.
+	if _, ok, err := server.Exchange(context.Background(), client.Addr(), Request{From: server.Addr()}); err != nil || ok {
+		t.Fatalf("reverse push exchange: %v ok=%v", err, ok)
+	}
+
+	Faults().SetRules(nil)
+	if _, ok, err := client.Exchange(context.Background(), server.Addr(), req); err != nil || !ok {
+		t.Fatalf("healed exchange: %v ok=%v", err, ok)
+	}
+}
+
+// TestGlobalFaultLatencyHonoursContext: injected latency sleeps on the
+// exchange path but a cancelled context cuts the sleep short.
+func TestGlobalFaultLatencyHonoursContext(t *testing.T) {
+	server, err := ListenTCP("127.0.0.1:0", func(req Request) (Response, bool) {
+		return Response{From: "server"}, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := ListenTCP("127.0.0.1:0", func(Request) (Response, bool) { return Response{}, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	Faults().SetRules([]FaultRule{{From: client.Addr(), To: server.Addr(), Latency: 30 * time.Millisecond}})
+	defer Faults().SetRules(nil)
+
+	start := time.Now()
+	if _, ok, err := client.Exchange(context.Background(), server.Addr(), Request{From: client.Addr(), WantReply: true}); err != nil || !ok {
+		t.Fatalf("delayed exchange: %v ok=%v", err, ok)
+	}
+	if took := time.Since(start); took < 30*time.Millisecond {
+		t.Fatalf("exchange took %v, want >= 30ms of injected latency", took)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, _, err := client.Exchange(ctx, server.Addr(), Request{From: client.Addr(), WantReply: true}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled delayed exchange: err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestFabricPerLinkFaults: the in-memory fabric honours the same rule
+// shape through SetFaults.
+func TestFabricPerLinkFaults(t *testing.T) {
+	fab := NewFabric()
+	echo := func(req Request) (Response, bool) { return Response{From: "echo"}, true }
+	a, err := fab.Endpoint("a", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fab.Endpoint("b", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := NewFaultSet(3)
+	fs.SetRules([]FaultRule{{From: "a", To: "b", Cut: true}})
+	fab.SetFaults(fs)
+
+	if _, _, err := a.Exchange(context.Background(), "b", Request{From: "a", WantReply: true}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("fabric cut a->b: err = %v, want ErrUnreachable", err)
+	}
+	if _, ok, err := b.Exchange(context.Background(), "a", Request{From: "b", WantReply: true}); err != nil || !ok {
+		t.Fatalf("fabric b->a: %v ok=%v", err, ok)
+	}
+
+	fab.SetFaults(nil)
+	if _, ok, err := a.Exchange(context.Background(), "b", Request{From: "a", WantReply: true}); err != nil || !ok {
+		t.Fatalf("fabric healed a->b: %v ok=%v", err, ok)
+	}
+}

@@ -22,6 +22,10 @@ type Fabric struct {
 	// different partitions cannot exchange messages. The zero ID is the
 	// default shared partition.
 	partition map[string]int
+	// faults generalizes the global latency/loss/partition knobs above to
+	// directed per-link rules — the same FaultRule shape the real
+	// transports consult (see SetFaults).
+	faults FaultInjector
 }
 
 // FabricOption configures a Fabric.
@@ -39,6 +43,13 @@ func WithLoss(p float64, seed uint64) FabricOption {
 		f.lossRate = p
 		f.rng = rand.New(rand.NewPCG(seed, 0xFAB))
 	}
+}
+
+// WithFaults installs a per-link fault injector (usually a *FaultSet):
+// directed cut/loss/latency rules applied on top of the fabric's global
+// latency, loss and partition models.
+func WithFaults(fi FaultInjector) FabricOption {
+	return func(f *Fabric) { f.faults = fi }
 }
 
 // NewFabric returns an empty in-memory network.
@@ -99,6 +110,15 @@ func (f *Fabric) HealPartitions() {
 	clear(f.partition)
 }
 
+// SetFaults installs (or, with nil, removes) a per-link fault injector
+// at runtime — the Fabric form of the chaos hook the real transports
+// read from the process-global Faults set.
+func (f *Fabric) SetFaults(fi FaultInjector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = fi
+}
+
 // Remove unregisters an address (simulating a crashed node whose peers
 // still hold its descriptor).
 func (f *Fabric) Remove(addr string) {
@@ -107,22 +127,31 @@ func (f *Fabric) Remove(addr string) {
 	delete(f.endpoints, addr)
 }
 
-// lookup resolves a destination endpoint for a sender, applying partition
-// and loss models. It returns nil with a reason error when undeliverable.
-func (f *Fabric) lookup(from, to string) (*memEndpoint, error) {
+// lookup resolves a destination endpoint for a sender, applying the
+// partition, loss and per-link fault models. It returns the endpoint and
+// any injected extra latency, or a reason error when undeliverable.
+func (f *Fabric) lookup(from, to string) (*memEndpoint, time.Duration, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	dst, ok := f.endpoints[to]
 	if !ok || dst.isClosed() {
-		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	if f.partition[from] != f.partition[to] {
-		return nil, fmt.Errorf("%w: %s is partitioned away", ErrUnreachable, to)
+		return nil, 0, fmt.Errorf("%w: %s is partitioned away", ErrUnreachable, to)
 	}
 	if f.lossRate > 0 && f.rng.Float64() < f.lossRate {
-		return nil, ErrDropped
+		return nil, 0, ErrDropped
 	}
-	return dst, nil
+	var extra time.Duration
+	if f.faults != nil {
+		d, err := f.faults.Inject(from, to)
+		if err != nil {
+			return nil, 0, err
+		}
+		extra = d
+	}
+	return dst, extra, nil
 }
 
 // memEndpoint implements Transport over a Fabric.
@@ -155,11 +184,11 @@ func (e *memEndpoint) Exchange(ctx context.Context, addr string, req Request) (R
 	if e.isClosed() {
 		return Response{}, false, ErrClosed
 	}
-	dst, err := e.fabric.lookup(e.addr, addr)
+	dst, extra, err := e.fabric.lookup(e.addr, addr)
 	if err != nil {
 		return Response{}, false, err
 	}
-	if d := e.fabric.latency; d > 0 {
+	if d := e.fabric.latency + extra; d > 0 {
 		timer := time.NewTimer(d)
 		defer timer.Stop()
 		select {
@@ -191,11 +220,11 @@ func (e *memEndpoint) ExchangeApp(ctx context.Context, addr string, msg AppMessa
 	if e.isClosed() {
 		return AppMessage{}, false, ErrClosed
 	}
-	dst, err := e.fabric.lookup(e.addr, addr)
+	dst, extra, err := e.fabric.lookup(e.addr, addr)
 	if err != nil {
 		return AppMessage{}, false, err
 	}
-	if d := e.fabric.latency; d > 0 {
+	if d := e.fabric.latency + extra; d > 0 {
 		timer := time.NewTimer(d)
 		defer timer.Stop()
 		select {

@@ -165,6 +165,9 @@ func (t *PooledTCP) SetAppHandler(h AppHandler) { t.apps.store(h) }
 // ExchangeApp implements AppCarrier: one app exchange over a pooled
 // connection, with the same borrow / stale-retry discipline as Exchange.
 func (t *PooledTCP) ExchangeApp(ctx context.Context, addr string, msg AppMessage) (AppMessage, bool, error) {
+	if err := checkLinkFault(ctx, t.Addr(), addr); err != nil {
+		return AppMessage{}, false, err
+	}
 	framep := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(framep)
 	frame, err := appendAppFrame((*framep)[:0], msg, false)
@@ -211,6 +214,9 @@ func (t *PooledTCP) exchangeAppOn(pc *pooledConn, addr string, frame []byte, wan
 // closed by the peer's idle timer, and gossip view merges tolerate the
 // rare duplicate delivery this can cause.
 func (t *PooledTCP) Exchange(ctx context.Context, addr string, req Request) (Response, bool, error) {
+	if err := checkLinkFault(ctx, t.Addr(), addr); err != nil {
+		return Response{}, false, err
+	}
 	framep := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(framep)
 	frame, err := appendRequestFrame((*framep)[:0], req)

@@ -113,6 +113,9 @@ func (t *TCP) ExchangeApp(ctx context.Context, addr string, msg AppMessage) (App
 	if closed {
 		return AppMessage{}, false, ErrClosed
 	}
+	if err := checkLinkFault(ctx, t.Addr(), addr); err != nil {
+		return AppMessage{}, false, err
+	}
 	framep := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(framep)
 	frame, err := appendAppFrame((*framep)[:0], msg, false)
@@ -262,6 +265,9 @@ func (t *TCP) Exchange(ctx context.Context, addr string, req Request) (Response,
 	t.mu.Unlock()
 	if closed {
 		return Response{}, false, ErrClosed
+	}
+	if err := checkLinkFault(ctx, t.Addr(), addr); err != nil {
+		return Response{}, false, err
 	}
 	framep := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(framep)

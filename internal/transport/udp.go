@@ -241,6 +241,9 @@ func (t *UDP) ExchangeApp(ctx context.Context, addr string, msg AppMessage) (App
 		return AppMessage{}, false, ErrClosed
 	default:
 	}
+	if err := checkLinkFault(ctx, t.Addr(), addr); err != nil {
+		return AppMessage{}, false, err
+	}
 	framep := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(framep)
 	frame, err := AppendAppMessage((*framep)[:0], msg, false)
@@ -334,6 +337,9 @@ func (t *UDP) Exchange(ctx context.Context, addr string, req Request) (Response,
 	case <-t.done:
 		return Response{}, false, ErrClosed
 	default:
+	}
+	if err := checkLinkFault(ctx, t.Addr(), addr); err != nil {
+		return Response{}, false, err
 	}
 	framep := frameBufs.Get().(*[]byte)
 	defer frameBufs.Put(framep)

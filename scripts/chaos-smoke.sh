@@ -1,0 +1,61 @@
+#!/bin/sh
+# Smoke-test declarative fault injection end to end against real psnode
+# processes: replay the churn-waves plan (kill waves with respawn) and
+# the partition-heal plan (per-link latency, then a half-fleet partition
+# that expires) on the subprocess fleet driver. Both experiments must
+# name their plan in the rendered report and converge, and the
+# partition-heal CSV artifact must align chaos_event rows with the
+# freshness trace on the shared long-form schema. Run from the
+# repository root.
+set -eu
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/psnode" ./cmd/psnode
+go build -o "$tmp/experiments" ./cmd/experiments
+
+# Kill waves: the chaos executor SIGKILLs a quarter of the forked fleet
+# per wave and respawns replacements, all from the named plan.
+"$tmp/experiments" -run livechurn -driver subprocess \
+    -psnode "$tmp/psnode" | tee "$tmp/livechurn.out"
+if ! grep -q 'plan=churn-waves' "$tmp/livechurn.out"; then
+    echo "livechurn report does not name its chaos plan" >&2
+    exit 1
+fi
+if ! grep -q 're-converged through churn: true' "$tmp/livechurn.out"; then
+    echo "livechurn did not re-converge under the plan's kill waves" >&2
+    exit 1
+fi
+
+# Partition heal: directed cut rules reach every psnode through its
+# control agent, freshness collapses across the cut, and the fleet
+# re-converges once the rules expire.
+"$tmp/experiments" -run partitionheal -driver subprocess \
+    -psnode "$tmp/psnode" -csv "$tmp/exp" | tee "$tmp/partitionheal.out"
+if ! grep -q 'plan=partition-heal' "$tmp/partitionheal.out"; then
+    echo "partitionheal report does not name its chaos plan" >&2
+    exit 1
+fi
+if ! grep -q 're-converged after heal: true' "$tmp/partitionheal.out"; then
+    echo "fleet did not re-converge after the partition rules expired" >&2
+    exit 1
+fi
+
+# The CSV artifact carries the chaos timeline next to the freshness
+# trace in the long-form schema.
+csv="$tmp/exp/partitionheal_trace.csv"
+if [ "$(head -n 1 "$csv")" != "source,cycle,metric,value" ]; then
+    echo "partitionheal CSV header wrong: $(head -n 1 "$csv")" >&2
+    exit 1
+fi
+for metric in chaos_event chaos_event_partition chaos_event_expire chaos_active_rules fresh_pairs; do
+    if ! grep -q ",$metric," "$csv"; then
+        echo "partitionheal CSV missing $metric rows" >&2
+        exit 1
+    fi
+done
+events=$(grep -c ',chaos_event,' "$csv")
+
+echo "chaos smoke OK: kill waves and partition heal replayed from named plans ($events chaos events exported)"
